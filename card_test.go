@@ -1,0 +1,240 @@
+package card
+
+import (
+	"testing"
+)
+
+func newSim(t *testing.T, nc NetworkConfig, cfg Config) *Simulation {
+	t.Helper()
+	s, err := NewSimulation(nc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func staticCfg() (NetworkConfig, Config) {
+	return NetworkConfig{Nodes: 300, Width: 710, Height: 710, TxRange: 50, Seed: 7},
+		Config{R: 3, MaxContactDist: 16, NoC: 5}
+}
+
+func TestNewSimulationValidation(t *testing.T) {
+	bad := []NetworkConfig{
+		{Nodes: 1, Width: 10, Height: 10, TxRange: 5},
+		{Nodes: 10, Width: 0, Height: 10, TxRange: 5},
+		{Nodes: 10, Width: 10, Height: 10, TxRange: 0},
+		{Nodes: 10, Width: 10, Height: 10, TxRange: 5, Mobility: MobilityKind(9)},
+	}
+	for i, nc := range bad {
+		if _, err := NewSimulation(nc, Config{R: 2, MaxContactDist: 6}); err == nil {
+			t.Errorf("case %d accepted: %+v", i, nc)
+		}
+	}
+	nc, _ := staticCfg()
+	if _, err := NewSimulation(nc, Config{R: 0, MaxContactDist: 6}); err == nil {
+		t.Error("bad protocol config accepted")
+	}
+}
+
+func TestEndToEndStaticDiscovery(t *testing.T) {
+	nc, cfg := staticCfg()
+	s := newSim(t, nc, cfg)
+	if s.Nodes() != 300 {
+		t.Fatalf("Nodes = %d", s.Nodes())
+	}
+	added := s.SelectContacts()
+	if added == 0 {
+		t.Fatal("no contacts selected")
+	}
+	before := s.MeanReachability(1)
+	// Query a pair from the largest component: CARD should find most, and
+	// flooding all.
+	found, floodFound := 0, 0
+	const q = 40
+	for i := 0; i < q; i++ {
+		src, dst := s.RandomPair(uint64(i))
+		if s.Query(src, dst).Found {
+			found++
+		}
+		if ok, _ := s.FloodQuery(src, dst); ok {
+			floodFound++
+		}
+	}
+	if floodFound != q {
+		t.Errorf("flooding found %d/%d connected pairs", floodFound, q)
+	}
+	if found == 0 {
+		t.Error("CARD found nothing")
+	}
+	if before <= 0 {
+		t.Error("reachability not positive")
+	}
+	m := s.Messages()
+	if m.Selection == 0 || m.TotalPerNode <= 0 {
+		t.Errorf("message accounting empty: %+v", m)
+	}
+}
+
+func TestEndToEndComparisonTraffic(t *testing.T) {
+	nc, cfg := staticCfg()
+	s := newSim(t, nc, cfg)
+	s.SelectContacts()
+	var cardMsgs, floodMsgs, bcMsgs int64
+	for i := 0; i < 25; i++ {
+		src, dst := s.RandomPair(uint64(100 + i))
+		cardMsgs += s.Query(src, dst).Messages
+		_, fm := s.FloodQuery(src, dst)
+		floodMsgs += fm
+		_, bm, err := s.BordercastQuery(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bcMsgs += bm
+	}
+	if cardMsgs >= floodMsgs {
+		t.Errorf("CARD traffic (%d) not below flooding (%d)", cardMsgs, floodMsgs)
+	}
+	if bcMsgs >= floodMsgs {
+		t.Errorf("bordercast traffic (%d) not below flooding (%d)", bcMsgs, floodMsgs)
+	}
+}
+
+func TestMobileSimulationAdvance(t *testing.T) {
+	nc, cfg := staticCfg()
+	nc.Mobility = RandomWaypoint
+	nc.Nodes = 200
+	cfg.ValidatePeriod = 1
+	s := newSim(t, nc, cfg)
+	s.SelectContacts()
+	s.Advance(5.5)
+	if s.Now() != 5.5 {
+		t.Errorf("Now = %v, want 5.5", s.Now())
+	}
+	st := s.Stats()
+	if st.ContactsSelected == 0 {
+		t.Error("no contacts ever selected")
+	}
+	m := s.Messages()
+	if m.Validation == 0 {
+		t.Error("Advance ran no validation rounds")
+	}
+	// Advancing by zero or negative is a no-op.
+	s.Advance(0)
+	s.Advance(-1)
+	if s.Now() != 5.5 {
+		t.Error("no-op Advance moved the clock")
+	}
+}
+
+func TestTopologyCensus(t *testing.T) {
+	nc, cfg := staticCfg()
+	s := newSim(t, nc, cfg)
+	c := s.TopologyCensus()
+	if c.Links == 0 || c.MeanDegree <= 0 || c.Diameter == 0 {
+		t.Errorf("census empty: %+v", c)
+	}
+	if c.LargestCompPct <= 0 || c.LargestCompPct > 100 {
+		t.Errorf("LCC%% = %v", c.LargestCompPct)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	nc, cfg := staticCfg()
+	a := newSim(t, nc, cfg)
+	b := newSim(t, nc, cfg)
+	a.SelectContacts()
+	b.SelectContacts()
+	if a.Messages() != b.Messages() {
+		t.Error("same-seed simulations diverged in message counts")
+	}
+	if a.MeanReachability(1) != b.MeanReachability(1) {
+		t.Error("same-seed simulations diverged in reachability")
+	}
+}
+
+func TestContactsAccessor(t *testing.T) {
+	nc, cfg := staticCfg()
+	s := newSim(t, nc, cfg)
+	s.SelectContacts()
+	total := 0
+	for u := NodeID(0); int(u) < s.Nodes(); u++ {
+		for _, c := range s.Contacts(u) {
+			total++
+			if c.Hops() <= 0 {
+				t.Fatalf("contact with non-positive hops: %+v", c)
+			}
+		}
+	}
+	if total == 0 {
+		t.Error("no contacts visible through accessor")
+	}
+}
+
+func TestDSDVSubstrateEndToEnd(t *testing.T) {
+	nc, cfg := staticCfg()
+	nc.Proactive = DSDVProtocol
+	nc.Nodes = 200
+	s := newSim(t, nc, cfg)
+	if s.SelectContacts() == 0 {
+		t.Fatal("no contacts selected on DSDV substrate")
+	}
+	m := s.Messages()
+	if m.Proactive == 0 {
+		t.Error("DSDV substrate counted no proactive broadcasts")
+	}
+	// Static network: the converged DSDV view must equal the oracle view,
+	// so reachability through either substrate agrees.
+	ncO := nc
+	ncO.Proactive = OracleView
+	o := newSim(t, ncO, cfg)
+	o.SelectContacts()
+	dr, or := s.MeanReachability(1), o.MeanReachability(1)
+	if dr <= 0 {
+		t.Fatalf("DSDV reachability = %v", dr)
+	}
+	diff := dr - or
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 5 {
+		t.Errorf("DSDV (%v%%) and oracle (%v%%) reachability diverge on a static net", dr, or)
+	}
+	// Queries resolve over DSDV tables too.
+	found := 0
+	for i := 0; i < 20; i++ {
+		src, dst := s.RandomPair(uint64(i))
+		if s.Query(src, dst).Found {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Error("no queries resolved over the DSDV substrate")
+	}
+}
+
+func TestDSDVSubstrateUnderMobility(t *testing.T) {
+	nc, cfg := staticCfg()
+	nc.Proactive = DSDVProtocol
+	nc.Mobility = RandomWaypoint
+	nc.Nodes = 120
+	nc.DSDVPeriod = 0.5
+	cfg.ValidatePeriod = 1
+	s := newSim(t, nc, cfg)
+	s.SelectContacts()
+	s.Advance(5)
+	m := s.Messages()
+	if m.Proactive == 0 || m.Validation == 0 {
+		t.Errorf("mobile DSDV run missing traffic: %+v", m)
+	}
+	if s.MeanReachability(1) <= 0 {
+		t.Error("reachability collapsed under mobile DSDV")
+	}
+}
+
+func TestBadProactiveKindRejected(t *testing.T) {
+	nc, cfg := staticCfg()
+	nc.Proactive = ProactiveKind(9)
+	if _, err := NewSimulation(nc, cfg); err == nil {
+		t.Error("unknown proactive kind accepted")
+	}
+}

@@ -1,0 +1,92 @@
+// Command cardquery demonstrates the three discovery schemes side by side
+// on one network: CARD, flooding, and ZRP bordercasting.
+//
+// Usage:
+//
+//	cardquery -n 500 -queries 25
+//	cardquery -n 1000 -mobile -horizon 10 -queries 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"card"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 500, "node count")
+		side    = flag.Float64("area", 710, "square area side in meters")
+		txRange = flag.Float64("range", 50, "transmission range in meters")
+		radius  = flag.Int("R", 3, "neighborhood radius (hops)")
+		maxDist = flag.Int("r", 16, "maximum contact distance (hops)")
+		noc     = flag.Int("noc", 5, "contacts per node")
+		depth   = flag.Int("D", 2, "query depth of search")
+		queries = flag.Int("queries", 25, "number of random queries")
+		mobile  = flag.Bool("mobile", false, "random-waypoint mobility instead of static")
+		horizon = flag.Float64("horizon", 5, "seconds of mobility before querying")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	nc := card.NetworkConfig{
+		Nodes: *n, Width: *side, Height: *side, TxRange: *txRange, Seed: *seed,
+	}
+	if *mobile {
+		nc.Mobility = card.RandomWaypoint
+	}
+	sim, err := card.NewSimulation(nc, card.Config{
+		R: *radius, MaxContactDist: *maxDist, NoC: *noc, Depth: *depth, ValidatePeriod: 1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cardquery:", err)
+		os.Exit(1)
+	}
+
+	c := sim.TopologyCensus()
+	fmt.Printf("network: N=%d area=%gx%g range=%gm links=%d degree=%.1f diameter=%d\n",
+		sim.Nodes(), *side, *side, *txRange, c.Links, c.MeanDegree, c.Diameter)
+
+	sim.SelectContacts()
+	if *mobile {
+		sim.Advance(*horizon)
+		fmt.Printf("advanced %gs under random-waypoint mobility\n", *horizon)
+	}
+	m := sim.Messages()
+	fmt.Printf("contact setup: selection=%d backtrack=%d validate=%d recovery=%d (%.1f msgs/node)\n",
+		m.Selection, m.Backtrack, m.Validation, m.Recovery, m.TotalPerNode)
+	fmt.Printf("mean reachability: D=1 %.1f%%  D=%d %.1f%%\n\n",
+		sim.MeanReachability(1), *depth, sim.MeanReachability(*depth))
+
+	var cardMsgs, floodMsgs, bcMsgs int64
+	cardFound, floodFound, bcFound := 0, 0, 0
+	for i := 0; i < *queries; i++ {
+		src, dst := sim.RandomPair(uint64(i) + 1000)
+		res := sim.Query(src, dst)
+		cardMsgs += res.Messages
+		if res.Found {
+			cardFound++
+		}
+		okF, fm := sim.FloodQuery(src, dst)
+		floodMsgs += fm
+		if okF {
+			floodFound++
+		}
+		okB, bm, err := sim.BordercastQuery(src, dst)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cardquery:", err)
+			os.Exit(1)
+		}
+		bcMsgs += bm
+		if okB {
+			bcFound++
+		}
+	}
+	q := float64(*queries)
+	fmt.Printf("%-14s %10s %10s\n", "scheme", "msgs/query", "success")
+	fmt.Printf("%-14s %10.1f %9.0f%%\n", "CARD", float64(cardMsgs)/q, 100*float64(cardFound)/q)
+	fmt.Printf("%-14s %10.1f %9.0f%%\n", "flooding", float64(floodMsgs)/q, 100*float64(floodFound)/q)
+	fmt.Printf("%-14s %10.1f %9.0f%%\n", "bordercasting", float64(bcMsgs)/q, 100*float64(bcFound)/q)
+}

@@ -1,0 +1,80 @@
+// Command cardsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cardsim -exp fig7                 # one experiment, aligned text
+//	cardsim -exp all -format md       # every paper experiment, markdown
+//	cardsim -exp ablations            # the design-choice ablations
+//	cardsim -list                     # available experiment ids
+//	cardsim -exp fig3 -seeds 5 -scale 0.5 -format csv
+//
+// Experiment ids match the per-experiment index in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"card/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id, or 'all' / 'ablations' / 'everything'")
+		format = flag.String("format", "text", "output format: text, csv, md, plot")
+		seeds  = flag.Int("seeds", 3, "independent repetitions per cell")
+		scale  = flag.Float64("scale", 1, "scenario scale in (0,1]; 1 = paper-size networks")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		timing = flag.Bool("time", false, "print wall-clock time per experiment")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "cardsim: -exp required (try -list)")
+		os.Exit(2)
+	}
+
+	var ids []string
+	switch *exp {
+	case "all":
+		ids = experiments.PaperOrder
+	case "ablations":
+		ids = experiments.AblationOrder
+	case "everything":
+		ids = append(append([]string{}, experiments.PaperOrder...), experiments.AblationOrder...)
+	default:
+		ids = []string{*exp}
+	}
+
+	opts := experiments.Options{Seeds: *seeds, Scale: *scale}
+	for _, id := range ids {
+		runner, err := experiments.Lookup(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cardsim:", err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tab := runner(opts)
+		switch *format {
+		case "csv":
+			fmt.Print(tab.CSV())
+		case "md":
+			fmt.Println(tab.Markdown())
+		case "plot":
+			fmt.Println(tab.Plot())
+		default:
+			fmt.Println(tab.Text())
+		}
+		if *timing {
+			fmt.Fprintf(os.Stderr, "[%s: %v]\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

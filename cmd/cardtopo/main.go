@@ -1,0 +1,67 @@
+// Command cardtopo inspects the unit-disk topologies behind the paper's
+// Table 1: it generates a scenario (or a custom network) and prints its
+// connectivity census.
+//
+// Usage:
+//
+//	cardtopo                          # census of all 8 Table-1 scenarios
+//	cardtopo -scenario 5 -seeds 10    # one scenario, more repetitions
+//	cardtopo -n 400 -area 600 -range 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"card/internal/experiments"
+	"card/internal/geom"
+	"card/internal/stats"
+)
+
+func main() {
+	var (
+		scenario = flag.Int("scenario", 0, "Table-1 scenario id (1..8); 0 = all")
+		n        = flag.Int("n", 0, "custom: node count (overrides -scenario)")
+		area     = flag.Float64("area", 710, "custom: square area side in meters")
+		txRange  = flag.Float64("range", 50, "custom: transmission range in meters")
+		seeds    = flag.Int("seeds", 3, "repetitions to average")
+	)
+	flag.Parse()
+
+	if *n > 0 {
+		sc := experiments.Scenario{ID: 0, N: *n, Area: geom.Rect{W: *area, H: *area}, TxRange: *txRange}
+		printCensus(sc, *seeds)
+		return
+	}
+	if *scenario != 0 {
+		if *scenario < 1 || *scenario > len(experiments.Table1Scenarios) {
+			fmt.Fprintln(os.Stderr, "cardtopo: scenario must be 1..8")
+			os.Exit(2)
+		}
+		printCensus(experiments.Table1Scenarios[*scenario-1], *seeds)
+		return
+	}
+	tab := experiments.RunTable1(experiments.Options{Seeds: *seeds, Scale: 1})
+	fmt.Println(tab.Text())
+}
+
+func printCensus(sc experiments.Scenario, seeds int) {
+	var links, degree, diam, hops, lcc, clus stats.Welford
+	for s := 1; s <= seeds; s++ {
+		c := sc.StaticNet(uint64(s)).Graph().ComputeCensus()
+		links.Add(float64(c.Links))
+		degree.Add(c.MeanDegree)
+		diam.Add(float64(c.Diameter))
+		hops.Add(c.AvgHops)
+		lcc.Add(100 * c.LargestComponentFrac)
+		clus.Add(c.MeanClustering)
+	}
+	fmt.Printf("scenario %s (avg of %d seeds)\n", sc, seeds)
+	fmt.Printf("  links        %.1f ± %.1f\n", links.Mean(), links.Std())
+	fmt.Printf("  node degree  %.2f ± %.2f\n", degree.Mean(), degree.Std())
+	fmt.Printf("  diameter     %.1f ± %.1f\n", diam.Mean(), diam.Std())
+	fmt.Printf("  avg hops     %.2f ± %.2f\n", hops.Mean(), hops.Std())
+	fmt.Printf("  largest comp %.1f%% ± %.1f\n", lcc.Mean(), lcc.Std())
+	fmt.Printf("  clustering   %.3f ± %.3f\n", clus.Mean(), clus.Std())
+}

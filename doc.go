@@ -1,0 +1,30 @@
+// Package card is a Go reproduction of "Contact-Based Architecture for
+// Resource Discovery (CARD) in Large Scale MANets" (Garg, Pamu, Nahata,
+// Helmy — IPDPS 2003).
+//
+// CARD discovers resources in large mobile ad hoc networks without
+// flooding, hierarchy, or GPS. Each node proactively tracks its R-hop
+// neighborhood and maintains a handful of contacts — nodes 2R..r hops away
+// with non-overlapping neighborhoods — that act as small-world short cuts.
+// Queries escalate through levels of contacts instead of expanding rings
+// of flooding.
+//
+// The package exposes a simulation facade over the full stack implemented
+// under internal/: unit-disk topologies, analytic mobility models, a
+// discrete-event engine, a scoped-DSDV proactive substrate, the CARD
+// protocol (PM/EM selection, validation with local recovery, multi-level
+// DSQ querying), and the flooding and ZRP-bordercasting baselines the
+// paper compares against.
+//
+// Quick start:
+//
+//	sim, err := card.NewSimulation(card.NetworkConfig{
+//	    Nodes: 500, Width: 710, Height: 710, TxRange: 50, Seed: 1,
+//	}, card.Config{R: 3, MaxContactDist: 16, NoC: 5})
+//	if err != nil { ... }
+//	sim.SelectContacts()
+//	res := sim.Query(12, 451)
+//
+// The experiment harness regenerating every table and figure of the paper
+// lives in cmd/cardsim; see DESIGN.md and EXPERIMENTS.md.
+package card

@@ -1,0 +1,302 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsEmpty(t *testing.T) {
+	s := New(130)
+	if !s.Empty() {
+		t.Fatalf("new set not empty: %v", s)
+	}
+	if got := s.Count(); got != 0 {
+		t.Fatalf("Count = %d, want 0", got)
+	}
+	if got := s.Len(); got != 130 {
+		t.Fatalf("Len = %d, want 130", got)
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(200)
+	vals := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, v := range vals {
+		s.Add(v)
+	}
+	for _, v := range vals {
+		if !s.Contains(v) {
+			t.Errorf("Contains(%d) = false after Add", v)
+		}
+	}
+	if s.Contains(2) || s.Contains(100) {
+		t.Error("Contains reports absent values present")
+	}
+	if got := s.Count(); got != len(vals) {
+		t.Fatalf("Count = %d, want %d", got, len(vals))
+	}
+	for _, v := range vals {
+		s.Remove(v)
+	}
+	if !s.Empty() {
+		t.Fatalf("set not empty after removing all: %v", s)
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if got := s.Count(); got != 1 {
+		t.Fatalf("Count after double Add = %d, want 1", got)
+	}
+}
+
+func TestContainsOutOfRange(t *testing.T) {
+	s := New(10)
+	if s.Contains(-1) || s.Contains(10) || s.Contains(1000) {
+		t.Error("Contains must report out-of-range values as absent")
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(-1) did not panic")
+		}
+	}()
+	New(4).Add(-1)
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("UnionWith across capacities did not panic")
+		}
+	}()
+	New(4).UnionWith(New(8))
+}
+
+func TestUnionIntersectDifference(t *testing.T) {
+	a := FromSlice(100, []int{1, 2, 3, 64, 65})
+	b := FromSlice(100, []int{3, 4, 65, 99})
+
+	u := a.Clone()
+	u.UnionWith(b)
+	if got, want := u.Slice(), []int{1, 2, 3, 4, 64, 65, 99}; !reflect.DeepEqual(got, want) {
+		t.Errorf("union = %v, want %v", got, want)
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if got, want := i.Slice(), []int{3, 65}; !reflect.DeepEqual(got, want) {
+		t.Errorf("intersection = %v, want %v", got, want)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if got, want := d.Slice(), []int{1, 2, 64}; !reflect.DeepEqual(got, want) {
+		t.Errorf("difference = %v, want %v", got, want)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := FromSlice(128, []int{10, 70})
+	b := FromSlice(128, []int{70})
+	c := FromSlice(128, []int{11, 71})
+	if !a.Intersects(b) {
+		t.Error("a.Intersects(b) = false, want true")
+	}
+	if a.Intersects(c) {
+		t.Error("a.Intersects(c) = true, want false")
+	}
+	if got := a.IntersectionCount(b); got != 1 {
+		t.Errorf("IntersectionCount = %d, want 1", got)
+	}
+}
+
+func TestEqualAndSubset(t *testing.T) {
+	a := FromSlice(64, []int{1, 2})
+	b := FromSlice(64, []int{1, 2})
+	c := FromSlice(64, []int{1, 2, 3})
+	if !a.Equal(b) {
+		t.Error("identical sets not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different sets Equal")
+	}
+	if !a.SubsetOf(c) {
+		t.Error("a should be subset of c")
+	}
+	if c.SubsetOf(a) {
+		t.Error("c should not be subset of a")
+	}
+	if a.Equal(FromSlice(65, []int{1, 2})) {
+		t.Error("sets of different capacity must not be Equal")
+	}
+}
+
+func TestForEachOrderAndEarlyStop(t *testing.T) {
+	s := FromSlice(100, []int{5, 1, 99, 64})
+	var got []int
+	s.ForEach(func(v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if want := []int{1, 5, 64, 99}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ForEach order = %v, want %v", got, want)
+	}
+	n := 0
+	s.ForEach(func(v int) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("early stop visited %d, want 2", n)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromSlice(32, []int{1})
+	b := a.Clone()
+	b.Add(2)
+	if a.Contains(2) {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromSlice(32, []int{1, 5})
+	b := New(32)
+	b.CopyFrom(a)
+	if !a.Equal(b) {
+		t.Error("CopyFrom did not produce equal set")
+	}
+}
+
+func TestClear(t *testing.T) {
+	a := FromSlice(32, []int{1, 5, 31})
+	a.Clear()
+	if !a.Empty() {
+		t.Error("Clear left elements behind")
+	}
+	if a.Len() != 32 {
+		t.Error("Clear changed capacity")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromSlice(10, []int{3, 1}).String(); got != "{1 3}" {
+		t.Errorf("String = %q, want {1 3}", got)
+	}
+	if got := New(10).String(); got != "{}" {
+		t.Errorf("String of empty = %q, want {}", got)
+	}
+}
+
+// randomPair builds two random same-capacity sets from a seed, for property
+// tests.
+func randomPair(seed int64) (*Set, *Set, int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(300)
+	a, b := New(n), New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			a.Add(i)
+		}
+		if rng.Intn(2) == 0 {
+			b.Add(i)
+		}
+	}
+	return a, b, n
+}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		a, b, _ := randomPair(seed)
+		ab := a.Clone()
+		ab.UnionWith(b)
+		ba := b.Clone()
+		ba.UnionWith(a)
+		return ab.Equal(ba)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(seed int64) bool {
+		a, b, _ := randomPair(seed)
+		u := a.Clone()
+		u.UnionWith(b)
+		return u.Count() == a.Count()+b.Count()-a.IntersectionCount(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// complement(a ∪ b) == complement(a) ∩ complement(b), with complement
+	// expressed via difference from the full universe.
+	f := func(seed int64) bool {
+		a, b, n := randomPair(seed)
+		full := New(n)
+		for i := 0; i < n; i++ {
+			full.Add(i)
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		lhs := full.Clone()
+		lhs.DifferenceWith(u)
+
+		ca := full.Clone()
+		ca.DifferenceWith(a)
+		cb := full.Clone()
+		cb.DifferenceWith(b)
+		ca.IntersectWith(cb)
+		return lhs.Equal(ca)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectsConsistentWithCount(t *testing.T) {
+	f := func(seed int64) bool {
+		a, b, _ := randomPair(seed)
+		return a.Intersects(b) == (a.IntersectionCount(b) > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSliceRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		a, _, n := randomPair(seed)
+		return FromSlice(n, a.Slice()).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIntersects(b *testing.B) {
+	a1, a2, _ := randomPair(42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a1.Intersects(a2)
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	a1, a2, _ := randomPair(42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a1.UnionWith(a2)
+	}
+}

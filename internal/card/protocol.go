@@ -1,0 +1,167 @@
+package card
+
+import (
+	"fmt"
+	"sort"
+
+	"card/internal/bitset"
+	"card/internal/manet"
+	"card/internal/neighborhood"
+	"card/internal/topology"
+	"card/internal/xrand"
+)
+
+// NodeID aliases the topology node index type.
+type NodeID = topology.NodeID
+
+// Contact is one entry of a node's contact table: a distant node plus the
+// source route leading to it.
+type Contact struct {
+	// ID is the contact node.
+	ID NodeID
+	// Path is the source route owner→contact, inclusive of both endpoints.
+	// It is the path the CSQ traveled (spliced by local recovery over time),
+	// not necessarily a shortest path.
+	Path []NodeID
+	// SelectedAt is the simulation time the contact was chosen.
+	SelectedAt float64
+	// LastValidated is the simulation time the path last validated.
+	LastValidated float64
+}
+
+// Hops returns the source-route length to the contact.
+func (c *Contact) Hops() int { return len(c.Path) - 1 }
+
+// Table is one node's contact table.
+type Table struct {
+	owner    NodeID
+	contacts []*Contact
+}
+
+// Owner returns the owning node.
+func (t *Table) Owner() NodeID { return t.owner }
+
+// Contacts returns the live contacts in selection order. Callers must not
+// mutate the slice.
+func (t *Table) Contacts() []*Contact { return t.contacts }
+
+// Len returns the number of live contacts.
+func (t *Table) Len() int { return len(t.contacts) }
+
+// IDs returns the contact node ids in selection order.
+func (t *Table) IDs() []NodeID {
+	ids := make([]NodeID, len(t.contacts))
+	for i, c := range t.contacts {
+		ids[i] = c.ID
+	}
+	return ids
+}
+
+func (t *Table) add(c *Contact) { t.contacts = append(t.contacts, c) }
+
+func (t *Table) removeAt(i int) {
+	t.contacts = append(t.contacts[:i], t.contacts[i+1:]...)
+}
+
+// Protocol is a CARD instance covering every node of a network. All nodes
+// share one protocol object (the simulator's bird's-eye view); per-node
+// state lives in the tables.
+//
+// A Protocol is single-goroutine, like the Network it runs on.
+type Protocol struct {
+	cfg    Config
+	net    *manet.Network
+	nb     neighborhood.Provider
+	rng    *xrand.Rand
+	tables []*Table
+
+	// visited is the per-CSQ "this node has seen query q" marker, epoch
+	// stamped to avoid clearing between walks.
+	visited    []uint64
+	visitGen   uint64
+	ineligible *bitset.Set // scratch for selection overlap predicate
+
+	// Selection statistics beyond raw message counts.
+	stats Stats
+}
+
+// Stats aggregates protocol-level events that message counters cannot
+// express.
+type Stats struct {
+	// CSQLaunched counts contact-selection walks started.
+	CSQLaunched int64
+	// CSQSucceeded counts walks that returned a contact.
+	CSQSucceeded int64
+	// ContactsSelected counts contacts ever admitted to a table.
+	ContactsSelected int64
+	// ContactsLost counts contacts dropped by maintenance.
+	ContactsLost int64
+	// Recoveries counts successful local-recovery splices.
+	Recoveries int64
+	// RecoveryFailures counts validation walks abandoned mid-path.
+	RecoveryFailures int64
+	// BoundDrops counts contacts dropped by maintenance rule 4 (validated
+	// path length outside [lower, r]).
+	BoundDrops int64
+}
+
+// New creates a CARD protocol over net using the given neighborhood
+// provider. The provider's radius must equal cfg.R.
+func New(net *manet.Network, nb neighborhood.Provider, cfg Config, rng *xrand.Rand) (*Protocol, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nb.R() != cfg.R {
+		return nil, fmt.Errorf("card: neighborhood radius %d != config R %d", nb.R(), cfg.R)
+	}
+	p := &Protocol{
+		cfg:        cfg,
+		net:        net,
+		nb:         nb,
+		rng:        rng,
+		tables:     make([]*Table, net.N()),
+		visited:    make([]uint64, net.N()),
+		ineligible: bitset.New(net.N()),
+	}
+	for i := range p.tables {
+		p.tables[i] = &Table{owner: NodeID(i)}
+	}
+	return p, nil
+}
+
+// Config returns the active configuration (defaults filled).
+func (p *Protocol) Config() Config { return p.cfg }
+
+// Network returns the underlying substrate.
+func (p *Protocol) Network() *manet.Network { return p.net }
+
+// Neighborhood returns the neighborhood provider.
+func (p *Protocol) Neighborhood() neighborhood.Provider { return p.nb }
+
+// Table returns node u's contact table.
+func (p *Protocol) Table(u NodeID) *Table { return p.tables[u] }
+
+// Stats returns a copy of the protocol-level statistics.
+func (p *Protocol) Stats() Stats { return p.stats }
+
+// TotalContacts returns the number of live contacts across all tables.
+func (p *Protocol) TotalContacts() int {
+	n := 0
+	for _, t := range p.tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// ContactDistances returns the multiset of current contact path lengths,
+// sorted ascending. Used by the ablation benches to compare methods.
+func (p *Protocol) ContactDistances() []int {
+	var ds []int
+	for _, t := range p.tables {
+		for _, c := range t.contacts {
+			ds = append(ds, c.Hops())
+		}
+	}
+	sort.Ints(ds)
+	return ds
+}

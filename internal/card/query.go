@@ -1,0 +1,91 @@
+package card
+
+import (
+	"card/internal/manet"
+)
+
+// QueryResult reports one resource-discovery attempt.
+type QueryResult struct {
+	// Found reports whether a path to the target was returned.
+	Found bool
+	// Depth is the contact level at which the target was found: 0 means
+	// the source's own neighborhood, 1 a first-level contact, and so on.
+	// It is meaningless when Found is false.
+	Depth int
+	// Messages is the number of control messages (queries + replies) this
+	// attempt generated.
+	Messages int64
+	// PathHops is the length of the discovered source→target path through
+	// the contact chain, or -1 when not found.
+	PathHops int
+}
+
+// Query runs the Destination Search Query mechanism of §III.C.4: the
+// source first checks its own neighborhood table, then escalates DSQs of
+// increasing depth D = 1..cfg.Depth through its contacts, each contact
+// leveraging its own neighborhood knowledge (and, for D > 1, forwarding to
+// its contacts with D-1).
+//
+// Matching the paper's "one at a time" semantics, contacts are queried
+// sequentially with early termination on the first hit; an unanswered
+// depth-D sweep is followed by a fresh depth-(D+1) DSQ.
+func (p *Protocol) Query(u, target NodeID) QueryResult {
+	if u == target {
+		return QueryResult{Found: true, Depth: 0, PathHops: 0}
+	}
+	if p.nb.Contains(u, target) {
+		// Resolved from the local neighborhood table: no control traffic.
+		return QueryResult{Found: true, Depth: 0, PathHops: p.nb.Dist(u, target)}
+	}
+	before := p.net.Counters.Sum(manet.CatQuery, manet.CatReply)
+	for depth := 1; depth <= p.cfg.Depth; depth++ {
+		p.visitGen++
+		if hops, ok := p.dsq(u, target, depth); ok {
+			return QueryResult{
+				Found:    true,
+				Depth:    depth,
+				Messages: p.net.Counters.Sum(manet.CatQuery, manet.CatReply) - before,
+				PathHops: hops,
+			}
+		}
+	}
+	return QueryResult{
+		Found:    false,
+		Messages: p.net.Counters.Sum(manet.CatQuery, manet.CatReply) - before,
+		PathHops: -1,
+	}
+}
+
+// dsq delivers a depth-limited DSQ to v's contacts, one at a time. It
+// returns the hop length of the found path from v to the target via the
+// contact chain. Each contact is visited at most once per escalation
+// attempt (p.visitGen), preventing the contact graph's cycles from
+// amplifying traffic.
+func (p *Protocol) dsq(v, target NodeID, depth int) (int, bool) {
+	for _, c := range p.tables[v].contacts {
+		if p.visited[c.ID] == p.visitGen {
+			continue
+		}
+		p.visited[c.ID] = p.visitGen
+		ok, _ := p.net.WalkPath(manet.CatQuery, c.Path)
+		if !ok {
+			continue // stored path broken under mobility: this DSQ dies
+		}
+		if depth == 1 {
+			if p.nb.Contains(c.ID, target) {
+				if !p.cfg.DisableReplyCounting {
+					p.net.SendHops(manet.CatReply, c.Hops())
+				}
+				return c.Hops() + p.nb.Dist(c.ID, target), true
+			}
+			continue
+		}
+		if sub, found := p.dsq(c.ID, target, depth-1); found {
+			if !p.cfg.DisableReplyCounting {
+				p.net.SendHops(manet.CatReply, c.Hops())
+			}
+			return c.Hops() + sub, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,57 @@
+package card
+
+import (
+	"card/internal/bitset"
+)
+
+// Reachability returns the percentage of network nodes reachable from u
+// with the current contact tables and a depth-D search: the union of u's
+// own neighborhood with the neighborhoods of every contact in the first D
+// levels of u's contact tree (§III.B, "Reachability").
+func (p *Protocol) Reachability(u NodeID, depth int) float64 {
+	set := p.reachableSet(u, depth)
+	return 100 * float64(set.Count()) / float64(p.net.N())
+}
+
+// ReachableSet returns the set of nodes counted by Reachability. The
+// caller owns the returned set.
+func (p *Protocol) ReachableSet(u NodeID, depth int) *bitset.Set {
+	return p.reachableSet(u, depth)
+}
+
+func (p *Protocol) reachableSet(u NodeID, depth int) *bitset.Set {
+	n := p.net.N()
+	set := bitset.New(n)
+	set.UnionWith(p.nb.Set(u))
+	seen := bitset.New(n)
+	seen.Add(int(u))
+	frontier := []NodeID{u}
+	for level := 1; level <= depth && len(frontier) > 0; level++ {
+		var next []NodeID
+		for _, v := range frontier {
+			for _, c := range p.tables[v].contacts {
+				if seen.Contains(int(c.ID)) {
+					continue
+				}
+				seen.Add(int(c.ID))
+				set.UnionWith(p.nb.Set(c.ID))
+				next = append(next, c.ID)
+			}
+		}
+		frontier = next
+	}
+	return set
+}
+
+// MeanReachability returns the average Reachability over all nodes.
+func (p *Protocol) MeanReachability(depth int) float64 {
+	n := p.net.N()
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += p.Reachability(NodeID(i), depth)
+	}
+	return sum / float64(n)
+}

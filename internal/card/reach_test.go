@@ -1,0 +1,113 @@
+package card
+
+import (
+	"testing"
+)
+
+func TestReachabilityNoContacts(t *testing.T) {
+	net := lineNet(20)
+	cfg := Config{R: 3, MaxContactDist: 10, NoC: 2, Method: EM}
+	p := newProtocol(t, net, cfg, 70)
+	// Node 10's 3-hop neighborhood on a 20-node line: 7 nodes -> 35 %.
+	got := p.Reachability(10, 1)
+	if got != 35 {
+		t.Errorf("Reachability = %v, want 35", got)
+	}
+}
+
+func TestReachabilityGrowsWithContacts(t *testing.T) {
+	net := staticNet(80, 300, 50)
+	cfg := Config{R: 3, MaxContactDist: 16, NoC: 6, Method: EM}
+	p := newProtocol(t, net, cfg, 71)
+	before := p.MeanReachability(1)
+	p.SelectAll(0)
+	after := p.MeanReachability(1)
+	if after <= before {
+		t.Errorf("reachability did not grow: %.1f -> %.1f", before, after)
+	}
+}
+
+func TestReachabilityMonotoneInDepth(t *testing.T) {
+	net := staticNet(81, 300, 50)
+	cfg := Config{R: 3, MaxContactDist: 12, NoC: 5, Method: EM}
+	p := newProtocol(t, net, cfg, 72)
+	p.SelectAll(0)
+	for u := NodeID(0); u < 30; u++ {
+		prev := -1.0
+		for d := 1; d <= 3; d++ {
+			v := p.Reachability(u, d)
+			if v < prev {
+				t.Fatalf("node %d: reachability decreased with depth: %v -> %v", u, prev, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestReachableSetContainsNeighborhoods(t *testing.T) {
+	net := staticNet(82, 250, 50)
+	cfg := Config{R: 3, MaxContactDist: 14, NoC: 4, Method: EM}
+	p := newProtocol(t, net, cfg, 73)
+	p.SelectAll(0)
+	nb := p.Neighborhood()
+	for u := NodeID(0); u < 20; u++ {
+		set := p.ReachableSet(u, 1)
+		if !nb.Set(u).SubsetOf(set) {
+			t.Fatalf("node %d: own neighborhood not in reachable set", u)
+		}
+		for _, c := range p.Table(u).Contacts() {
+			if !nb.Set(c.ID).SubsetOf(set) {
+				t.Fatalf("node %d: contact %d neighborhood not in reachable set", u, c.ID)
+			}
+		}
+	}
+}
+
+func TestReachabilityBounds(t *testing.T) {
+	net := staticNet(83, 200, 50)
+	cfg := Config{R: 3, MaxContactDist: 14, NoC: 10, Method: EM}
+	p := newProtocol(t, net, cfg, 74)
+	p.SelectAll(0)
+	for u := NodeID(0); int(u) < net.N(); u++ {
+		v := p.Reachability(u, 3)
+		if v < 0 || v > 100 {
+			t.Fatalf("reachability %v out of [0,100]", v)
+		}
+	}
+	m := p.MeanReachability(1)
+	if m <= 0 || m > 100 {
+		t.Fatalf("mean reachability %v out of (0,100]", m)
+	}
+}
+
+func TestReachabilityCountsSelf(t *testing.T) {
+	// An isolated node reaches exactly itself: 1/N.
+	net := customNet(t, [][2]float64{{0, 0}, {500, 500}})
+	cfg := Config{R: 2, MaxContactDist: 6, NoC: 1, Method: EM}
+	p := newProtocol(t, net, cfg, 75)
+	if got := p.Reachability(0, 1); got != 50 {
+		t.Errorf("isolated node reachability = %v, want 50 (self of N=2)", got)
+	}
+}
+
+func TestEMReachesAtLeastPM(t *testing.T) {
+	// Paper Fig. 3: EM achieves higher reachability than PM for equal NoC.
+	// Statistical claim — compare means over a few seeds with a tolerance.
+	var em, pm float64
+	for seed := uint64(0); seed < 3; seed++ {
+		for _, m := range []Method{EM, PM2} {
+			net := staticNet(300+seed, 300, 50)
+			cfg := Config{R: 3, MaxContactDist: 20, NoC: 5, Method: m}
+			p := newProtocol(t, net, cfg, 400+seed)
+			p.SelectAll(0)
+			if m == EM {
+				em += p.MeanReachability(1)
+			} else {
+				pm += p.MeanReachability(1)
+			}
+		}
+	}
+	if em < pm*0.95 {
+		t.Errorf("EM mean reachability %.1f noticeably below PM %.1f", em/3, pm/3)
+	}
+}

@@ -1,0 +1,289 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"card/internal/xrand"
+)
+
+func TestFiresInTimeOrder(t *testing.T) {
+	q := New()
+	var got []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		q.At(at, func(now float64) { got = append(got, now) })
+	}
+	q.Drain()
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Errorf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestFIFOAtEqualTimes(t *testing.T) {
+	q := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(1, func(float64) { got = append(got, i) })
+	}
+	q.Drain()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	q := New()
+	q.At(2.5, func(now float64) {
+		if now != 2.5 {
+			t.Errorf("callback now = %v, want 2.5", now)
+		}
+	})
+	q.Step()
+	if q.Now() != 2.5 {
+		t.Errorf("Now = %v, want 2.5", q.Now())
+	}
+}
+
+func TestAfter(t *testing.T) {
+	q := New()
+	q.At(1, func(now float64) {
+		q.After(2, func(now2 float64) {
+			if now2 != 3 {
+				t.Errorf("After fired at %v, want 3", now2)
+			}
+		})
+	})
+	q.Drain()
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	q := New()
+	q.At(5, func(float64) {})
+	q.Step()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	q.At(1, func(float64) {})
+}
+
+func TestNilFnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil fn did not panic")
+		}
+	}()
+	New().At(1, nil)
+}
+
+func TestCancel(t *testing.T) {
+	q := New()
+	fired := false
+	h := q.At(1, func(float64) { fired = true })
+	if !h.Cancel() {
+		t.Error("Cancel of pending event returned false")
+	}
+	if h.Cancel() {
+		t.Error("second Cancel returned true")
+	}
+	q.Drain()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after drain", q.Len())
+	}
+}
+
+func TestCancelZeroHandle(t *testing.T) {
+	var h Handle
+	if h.Cancel() {
+		t.Error("zero handle Cancel returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	q := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		q.At(at, func(now float64) { fired = append(fired, now) })
+	}
+	q.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Errorf("RunUntil(2.5) fired %d events, want 2: %v", len(fired), fired)
+	}
+	if q.Now() != 2.5 {
+		t.Errorf("Now = %v, want 2.5", q.Now())
+	}
+	q.RunUntil(10)
+	if len(fired) != 4 {
+		t.Errorf("after RunUntil(10), fired %d events, want 4", len(fired))
+	}
+	if q.Now() != 10 {
+		t.Errorf("Now = %v, want 10", q.Now())
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	q := New()
+	fired := false
+	q.At(2, func(float64) { fired = true })
+	q.RunUntil(2)
+	if !fired {
+		t.Error("event at exactly t did not fire in RunUntil(t)")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	q := New()
+	var order []string
+	q.At(1, func(float64) {
+		order = append(order, "a")
+		q.At(1.5, func(float64) { order = append(order, "b") })
+	})
+	q.At(2, func(float64) { order = append(order, "c") })
+	q.Drain()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTicker(t *testing.T) {
+	q := New()
+	var times []float64
+	tk := q.Every(1, 2, func(now float64) {
+		times = append(times, now)
+	})
+	q.RunUntil(7.5)
+	tk.Stop()
+	q.RunUntil(20)
+	want := []float64{1, 3, 5, 7}
+	if len(times) != len(want) {
+		t.Fatalf("ticker fired at %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticker fired at %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTickerStopFromWithin(t *testing.T) {
+	q := New()
+	count := 0
+	var tk *Ticker
+	tk = q.Every(0, 1, func(now float64) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	q.RunUntil(100)
+	if count != 3 {
+		t.Errorf("ticker fired %d times after self-stop at 3", count)
+	}
+}
+
+func TestEveryPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every(period=0) did not panic")
+		}
+	}()
+	New().Every(0, 0, func(float64) {})
+}
+
+func TestLen(t *testing.T) {
+	q := New()
+	if q.Len() != 0 {
+		t.Error("new queue Len != 0")
+	}
+	q.At(1, func(float64) {})
+	h := q.At(2, func(float64) {})
+	if q.Len() != 2 {
+		t.Errorf("Len = %d, want 2", q.Len())
+	}
+	h.Cancel()
+	if q.Len() != 1 {
+		t.Errorf("Len after cancel = %d, want 1", q.Len())
+	}
+}
+
+func TestQuickRandomScheduleFiresSorted(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		q := New()
+		n := 1 + rng.Intn(100)
+		var fired []float64
+		for i := 0; i < n; i++ {
+			at := rng.Range(0, 1000)
+			q.At(at, func(now float64) { fired = append(fired, now) })
+		}
+		q.Drain()
+		return len(fired) == n && sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCancelSubsetNeverFires(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		q := New()
+		n := 1 + rng.Intn(60)
+		fired := make([]bool, n)
+		handles := make([]Handle, n)
+		for i := 0; i < n; i++ {
+			i := i
+			handles[i] = q.At(rng.Range(0, 100), func(float64) { fired[i] = true })
+		}
+		cancelled := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Bool(0.5) {
+				cancelled[i] = true
+				handles[i].Cancel()
+			}
+		}
+		q.Drain()
+		for i := 0; i < n; i++ {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleAndDrain(b *testing.B) {
+	rng := xrand.New(1)
+	ats := make([]float64, 1000)
+	for i := range ats {
+		ats[i] = rng.Range(0, 1e6)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := New()
+		for _, at := range ats {
+			q.At(at, func(float64) {})
+		}
+		q.Drain()
+	}
+}

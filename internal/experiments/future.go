@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"card/internal/card"
+	"card/internal/manet"
+	"card/internal/mobility"
+	"card/internal/resource"
+	"card/internal/topology"
+	"card/internal/xrand"
+)
+
+// RunAblationMobility implements the paper's footnote 1 / §V future work:
+// "different mobility models may have different effects on performance of
+// CARD". It runs the same 10 s maintenance workload under Static, RWP and
+// bounded RandomWalk mobility and compares contact survival and overhead.
+func RunAblationMobility(o Options) *Table {
+	o.fill()
+	sc := Scenario5.Scaled(o.Scale)
+	models := []string{"static", "waypoint", "walk"}
+	type row struct{ lost, splices, overhead, contacts float64 }
+	cells := make([]row, len(models)*o.Seeds)
+	Parallel(len(cells), func(i int) {
+		model := models[i/o.Seeds]
+		seed := uint64(i%o.Seeds) + 1
+		rng := xrand.New(seed ^ uint64(sc.ID)<<32)
+		var net *manet.Network
+		switch model {
+		case "static":
+			pts := topology.UniformPositions(sc.N, sc.Area, rng)
+			net = manet.New(mobility.NewStatic(pts, sc.Area), sc.TxRange, rng.Derive(1))
+		case "waypoint":
+			m, err := mobility.NewRandomWaypoint(sc.N, sc.Area, mobility.DefaultRWP(), rng)
+			if err != nil {
+				panic(err)
+			}
+			net = manet.New(m, sc.TxRange, rng.Derive(1))
+		case "walk":
+			pts := topology.UniformPositions(sc.N, sc.Area, rng)
+			m, err := mobility.NewRandomWalk(pts, sc.Area, 10, 2, rng.Derive(3))
+			if err != nil {
+				panic(err)
+			}
+			net = manet.New(m, sc.TxRange, rng.Derive(1))
+		}
+		cfg := card.Config{R: 3, MaxContactDist: 12, NoC: 5, Depth: 1, Method: card.EM, ValidatePeriod: 1}
+		prot, err := NewCARD(net, cfg, seed)
+		if err != nil {
+			panic(err)
+		}
+		prot.SelectAll(0)
+		for t := 0.25; t <= 10+1e-9; t += 0.25 {
+			net.RefreshAt(t)
+			if isMultiple(t, cfg.ValidatePeriod) {
+				prot.MaintainAll(t)
+			}
+		}
+		n := float64(net.N())
+		st := prot.Stats()
+		cells[i] = row{
+			lost:     float64(st.ContactsLost) / n,
+			splices:  float64(st.Recoveries) / n,
+			overhead: float64(net.Counters.Sum(overheadCats...)) / n,
+			contacts: float64(prot.TotalContacts()) / n,
+		}
+	})
+	rows := make([]row, len(models))
+	for i, c := range cells {
+		r := &rows[i/o.Seeds]
+		s := float64(o.Seeds)
+		r.lost += c.lost / s
+		r.splices += c.splices / s
+		r.overhead += c.overhead / s
+		r.contacts += c.contacts / s
+	}
+	t := NewTable(
+		fmt.Sprintf("Ablation: mobility model over 10 s (N=%d, R=3, r=12, NoC=5)", sc.N),
+		"Mobility", "Lost/node", "Splices/node", "Overhead/node", "Final contacts/node")
+	for i, m := range models {
+		r := rows[i]
+		t.Add(m, r.lost, r.splices, r.overhead, r.contacts)
+	}
+	return t
+}
+
+// RunReplication implements the paper's §V "resource distributions"
+// future work: how replication changes discovery cost and success for
+// CARD vs flooding vs expanding-ring anycast.
+func RunReplication(o Options) *Table {
+	o.fill()
+	sc := Scenario5.Scaled(o.Scale)
+	replicas := []int{1, 2, 4, 8, 16}
+	type row struct{ cardMsgs, cardHit, floodMsgs, ringMsgs float64 }
+	cells := make([]row, len(replicas)*o.Seeds)
+	Parallel(len(cells), func(i int) {
+		k := replicas[i/o.Seeds]
+		seed := uint64(i%o.Seeds) + 1
+		net := sc.StaticNet(seed)
+		cfg := card.Config{R: 3, MaxContactDist: 16, NoC: 5, Depth: 2, Method: card.EM}
+		prot, err := NewCARD(net, cfg, seed)
+		if err != nil {
+			panic(err)
+		}
+		prot.SelectAll(0)
+		netFlood := sc.StaticNet(seed)
+		netRing := sc.StaticNet(seed)
+
+		rng := xrand.New(seed).Derive(55)
+		const lookups = 40
+		var r row
+		for q := 0; q < lookups; q++ {
+			dir := resource.NewDirectory(sc.N)
+			dir.PlaceReplicas(resource.ID(q), k, rng.Derive(uint64(q)))
+			src := manet.NodeID(rng.Intn(sc.N))
+			rc := resource.DiscoverCARD(prot, dir, src, resource.ID(q))
+			r.cardMsgs += float64(rc.Messages) / lookups
+			if rc.Found {
+				r.cardHit += 100.0 / lookups
+			}
+			rf := resource.DiscoverFlood(netFlood, dir, src, resource.ID(q))
+			r.floodMsgs += float64(rf.Messages) / lookups
+			rr := resource.DiscoverExpandingRing(netRing, dir, src, resource.ID(q))
+			r.ringMsgs += float64(rr.Messages) / lookups
+		}
+		cells[i] = r
+	})
+	rows := make([]row, len(replicas))
+	for i, c := range cells {
+		r := &rows[i/o.Seeds]
+		s := float64(o.Seeds)
+		r.cardMsgs += c.cardMsgs / s
+		r.cardHit += c.cardHit / s
+		r.floodMsgs += c.floodMsgs / s
+		r.ringMsgs += c.ringMsgs / s
+	}
+	t := NewTable(
+		fmt.Sprintf("Extension: resource replication (N=%d, R=3, r=16, NoC=5, D=2)", sc.N),
+		"Replicas", "CARD msgs/lookup", "CARD success%", "Flood msgs/lookup", "Ring msgs/lookup")
+	for i, k := range replicas {
+		r := rows[i]
+		t.Add(k, r.cardMsgs, r.cardHit, r.floodMsgs, r.ringMsgs)
+	}
+	return t
+}

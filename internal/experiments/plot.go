@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Plot renders the table as horizontal ASCII bar charts, one section per
+// numeric column — the terminal rendition of the paper's histogram
+// figures. Non-numeric columns are skipped; the first column labels the
+// rows (reachability bins, times, NoC values).
+func (t *Table) Plot() string {
+	const barWidth = 50
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("## " + t.Title + "\n")
+	}
+	labelW := len(t.Columns[0])
+	for _, row := range t.Rows {
+		if len(row[0]) > labelW {
+			labelW = len(row[0])
+		}
+	}
+	for col := 1; col < len(t.Columns); col++ {
+		vals := make([]float64, 0, len(t.Rows))
+		max := 0.0
+		numeric := true
+		for _, row := range t.Rows {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				numeric = false
+				break
+			}
+			vals = append(vals, v)
+			if v > max {
+				max = v
+			}
+		}
+		if !numeric {
+			continue
+		}
+		fmt.Fprintf(&sb, "\n-- %s --\n", t.Columns[col])
+		for i, row := range t.Rows {
+			bar := 0
+			if max > 0 {
+				bar = int(vals[i] / max * barWidth)
+			}
+			if vals[i] > 0 && bar == 0 {
+				bar = 1 // visible trace for small non-zero values
+			}
+			fmt.Fprintf(&sb, "%-*s |%s %s\n", labelW, row[0], strings.Repeat("#", bar), row[col])
+		}
+	}
+	return sb.String()
+}

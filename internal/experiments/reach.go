@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"fmt"
+
+	"card/internal/card"
+	"card/internal/stats"
+)
+
+// Options tunes how heavy an experiment run is.
+type Options struct {
+	// Seeds is the number of independent repetitions averaged per cell
+	// (default 3).
+	Seeds int
+	// Scale shrinks every scenario, preserving node density (default 1 =
+	// the paper's sizes). Benchmarks use smaller scales.
+	Scale float64
+}
+
+func (o *Options) fill() {
+	if o.Seeds <= 0 {
+		o.Seeds = 3
+	}
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1
+	}
+}
+
+// DefaultOptions returns full-size runs with 3 seeds.
+func DefaultOptions() Options { return Options{Seeds: 3, Scale: 1} }
+
+// QuickOptions returns a fast configuration for tests and smoke runs.
+func QuickOptions() Options { return Options{Seeds: 1, Scale: 0.3} }
+
+// RunTable1 regenerates Table 1: the connectivity census of all eight
+// scenarios, averaged over seeds.
+func RunTable1(o Options) *Table {
+	o.fill()
+	t := NewTable(
+		fmt.Sprintf("Table 1: scenario census (avg of %d seeds, scale %g)", o.Seeds, o.Scale),
+		"No.", "Nodes", "Area", "TxRange", "Links", "Degree", "Diameter", "AvgHops", "LCC")
+	type row struct{ links, degree, diameter, hops, lcc stats.Welford }
+	rows := make([]row, len(Table1Scenarios))
+	cells := len(Table1Scenarios) * o.Seeds
+	results := make([][5]float64, cells)
+	Parallel(cells, func(i int) {
+		sc := Table1Scenarios[i/o.Seeds].Scaled(o.Scale)
+		seed := uint64(i%o.Seeds) + 1
+		c := sc.StaticNet(seed).Graph().ComputeCensus()
+		results[i] = [5]float64{
+			float64(c.Links), c.MeanDegree, float64(c.Diameter), c.AvgHops, c.LargestComponentFrac,
+		}
+	})
+	for i, res := range results {
+		r := &rows[i/o.Seeds]
+		r.links.Add(res[0])
+		r.degree.Add(res[1])
+		r.diameter.Add(res[2])
+		r.hops.Add(res[3])
+		r.lcc.Add(res[4])
+	}
+	for i, sc := range Table1Scenarios {
+		s := sc.Scaled(o.Scale)
+		r := &rows[i]
+		t.Add(s.ID, s.N, s.Area.String(), s.TxRange,
+			r.links.Mean(), r.degree.Mean(), r.diameter.Mean(), r.hops.Mean(), r.lcc.Mean())
+	}
+	return t
+}
+
+// reachCell is one (config, seed) reachability measurement: select contacts
+// on a static snapshot, then record every node's reachability percentage.
+func reachCell(sc Scenario, cfg card.Config, seed uint64) (*stats.Histogram, *stats.Welford, *card.Protocol) {
+	net := sc.StaticNet(seed)
+	p, err := NewCARD(net, cfg, seed)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err)) // static config bug, not data
+	}
+	p.SelectAll(0)
+	h := stats.NewReachabilityHistogram()
+	var w stats.Welford
+	for u := 0; u < net.N(); u++ {
+		v := p.Reachability(int32(u), cfg.Depth)
+		h.Add(v)
+		w.Add(v)
+	}
+	return h, &w, p
+}
+
+// ReachabilityDistribution aggregates reachCell over seeds: summed
+// histogram (counts normalized per seed when rendered) and merged mean.
+func ReachabilityDistribution(sc Scenario, cfg card.Config, seeds int) (*stats.Histogram, *stats.Welford) {
+	hists := make([]*stats.Histogram, seeds)
+	wels := make([]*stats.Welford, seeds)
+	Parallel(seeds, func(i int) {
+		h, w, _ := reachCell(sc, cfg, uint64(i)+1)
+		hists[i], wels[i] = h, w
+	})
+	total := stats.NewReachabilityHistogram()
+	var w stats.Welford
+	for i := range hists {
+		total.Merge(hists[i])
+		w.Merge(wels[i])
+	}
+	return total, &w
+}
+
+// distributionTable renders reachability histograms (one per sweep value)
+// in the paper's layout: rows are 5 % reachability bins, columns the sweep
+// values, cells the number of nodes (averaged per seed).
+func distributionTable(title string, labels []string, hists []*stats.Histogram, seeds int) *Table {
+	cols := append([]string{"Reach%"}, labels...)
+	t := NewTable(title, cols...)
+	for bin := 0; bin < hists[0].NumBins(); bin++ {
+		cells := make([]any, 0, len(hists)+1)
+		lo := float64(bin) * hists[0].BinWidth()
+		cells = append(cells, fmt.Sprintf("%g-%g", lo, lo+hists[0].BinWidth()))
+		for _, h := range hists {
+			cells = append(cells, float64(h.Bin(bin))/float64(seeds))
+		}
+		t.Add(cells...)
+	}
+	return t
+}
+
+// fig3Base is the configuration printed under Fig. 3/4: 500 nodes,
+// 710x710 m, 50 m range, R=3, r=20, D=1.
+func fig3Base() card.Config {
+	return card.Config{R: 3, MaxContactDist: 20, Depth: 1}
+}
+
+// RunFig3 regenerates Fig. 3: mean reachability vs NoC (1..9) for the
+// probabilistic and edge methods.
+func RunFig3(o Options) *Table {
+	o.fill()
+	sc := Scenario5.Scaled(o.Scale)
+	nocs := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	pm := make([]float64, len(nocs))
+	em := make([]float64, len(nocs))
+	Parallel(len(nocs)*2, func(i int) {
+		noc := nocs[i/2]
+		cfg := fig3Base()
+		cfg.NoC = noc
+		if i%2 == 0 {
+			cfg.Method = card.PM2
+		} else {
+			cfg.Method = card.EM
+		}
+		_, w := ReachabilityDistribution(sc, cfg, o.Seeds)
+		if i%2 == 0 {
+			pm[i/2] = w.Mean()
+		} else {
+			em[i/2] = w.Mean()
+		}
+	})
+	t := NewTable(
+		fmt.Sprintf("Fig 3: reachability vs NoC, PM vs EM (N=%d, R=3, r=20, D=1)", sc.N),
+		"NoC", "PM reach%", "EM reach%")
+	for i, noc := range nocs {
+		t.Add(noc, pm[i], em[i])
+	}
+	return t
+}
+
+// RunFig4 regenerates Fig. 4: backtracking messages per node during
+// contact selection vs NoC (1..5), PM vs EM.
+func RunFig4(o Options) *Table {
+	o.fill()
+	sc := Scenario5.Scaled(o.Scale)
+	nocs := []int{1, 2, 3, 4, 5}
+	results := make([]float64, len(nocs)*2*o.Seeds)
+	Parallel(len(results), func(i int) {
+		cell := i / o.Seeds
+		seed := uint64(i%o.Seeds) + 1
+		noc := nocs[cell/2]
+		cfg := fig3Base()
+		cfg.NoC = noc
+		if cell%2 == 0 {
+			cfg.Method = card.PM2
+		} else {
+			cfg.Method = card.EM
+		}
+		net := sc.StaticNet(seed)
+		p, err := NewCARD(net, cfg, seed)
+		if err != nil {
+			panic(err)
+		}
+		p.SelectAll(0)
+		results[i] = float64(net.Counters.Get(backtrackCat)) / float64(net.N())
+	})
+	pm := make([]float64, len(nocs))
+	em := make([]float64, len(nocs))
+	for i, v := range results {
+		cell := i / o.Seeds
+		if cell%2 == 0 {
+			pm[cell/2] += v / float64(o.Seeds)
+		} else {
+			em[cell/2] += v / float64(o.Seeds)
+		}
+	}
+	t := NewTable(
+		fmt.Sprintf("Fig 4: backtracking per node vs NoC, PM vs EM (N=%d, R=3, r=20)", sc.N),
+		"NoC", "PM backtracks/node", "EM backtracks/node")
+	for i, noc := range nocs {
+		t.Add(noc, pm[i], em[i])
+	}
+	return t
+}
+
+// RunFig5 regenerates Fig. 5: reachability distribution for R = 1..7
+// (r=16, NoC=10, D=1).
+func RunFig5(o Options) *Table {
+	o.fill()
+	sc := Scenario5.Scaled(o.Scale)
+	rs := []int{1, 2, 3, 4, 5, 6, 7}
+	hists := make([]*stats.Histogram, len(rs))
+	labels := make([]string, len(rs))
+	Parallel(len(rs), func(i int) {
+		cfg := card.Config{R: rs[i], MaxContactDist: 16, NoC: 10, Depth: 1, Method: card.EM}
+		h, _ := ReachabilityDistribution(sc, cfg, o.Seeds)
+		hists[i] = h
+		labels[i] = fmt.Sprintf("R=%d", rs[i])
+	})
+	return distributionTable(
+		fmt.Sprintf("Fig 5: reachability distribution vs R (N=%d, r=16, NoC=10, D=1)", sc.N),
+		labels, hists, o.Seeds)
+}
+
+// RunFig6 regenerates Fig. 6: reachability distribution for r = 2R..2R+12
+// (R=3, NoC=10, D=1).
+func RunFig6(o Options) *Table {
+	o.fill()
+	sc := Scenario5.Scaled(o.Scale)
+	const r1 = 3
+	deltas := []int{0, 2, 4, 6, 8, 10, 12}
+	hists := make([]*stats.Histogram, len(deltas))
+	labels := make([]string, len(deltas))
+	Parallel(len(deltas), func(i int) {
+		rr := 2*r1 + deltas[i]
+		cfg := card.Config{R: r1, MaxContactDist: rr, NoC: 10, Depth: 1, Method: card.EM}
+		h, _ := ReachabilityDistribution(sc, cfg, o.Seeds)
+		hists[i] = h
+		labels[i] = fmt.Sprintf("r=2R+%d", deltas[i])
+	})
+	return distributionTable(
+		fmt.Sprintf("Fig 6: reachability distribution vs r (N=%d, R=3, NoC=10, D=1)", sc.N),
+		labels, hists, o.Seeds)
+}
+
+// RunFig7 regenerates Fig. 7: reachability distribution for NoC = 0..12
+// (R=3, r=10, D=1).
+func RunFig7(o Options) *Table {
+	o.fill()
+	sc := Scenario5.Scaled(o.Scale)
+	nocs := []int{0, 2, 4, 6, 8, 10, 12}
+	hists := make([]*stats.Histogram, len(nocs))
+	labels := make([]string, len(nocs))
+	Parallel(len(nocs), func(i int) {
+		cfg := card.Config{R: 3, MaxContactDist: 10, NoC: nocs[i], Depth: 1, Method: card.EM}
+		h, _ := reachNoCAware(sc, cfg, o.Seeds)
+		hists[i] = h
+		labels[i] = fmt.Sprintf("NoC=%d", nocs[i])
+	})
+	return distributionTable(
+		fmt.Sprintf("Fig 7: reachability distribution vs NoC (N=%d, R=3, r=10, D=1)", sc.N),
+		labels, hists, o.Seeds)
+}
+
+// reachNoCAware handles the NoC=0 curve: Config.Validate treats zero as
+// "default", so a literal zero is run by skipping selection entirely.
+func reachNoCAware(sc Scenario, cfg card.Config, seeds int) (*stats.Histogram, *stats.Welford) {
+	if cfg.NoC != 0 {
+		return ReachabilityDistribution(sc, cfg, seeds)
+	}
+	cfg.NoC = 1 // validate, but never select
+	hists := make([]*stats.Histogram, seeds)
+	wels := make([]*stats.Welford, seeds)
+	Parallel(seeds, func(i int) {
+		net := sc.StaticNet(uint64(i) + 1)
+		p, err := NewCARD(net, cfg, uint64(i)+1)
+		if err != nil {
+			panic(err)
+		}
+		h := stats.NewReachabilityHistogram()
+		var w stats.Welford
+		for u := 0; u < net.N(); u++ {
+			v := p.Reachability(int32(u), cfg.Depth)
+			h.Add(v)
+			w.Add(v)
+		}
+		hists[i], wels[i] = h, &w
+	})
+	total := stats.NewReachabilityHistogram()
+	var w stats.Welford
+	for i := range hists {
+		total.Merge(hists[i])
+		w.Merge(wels[i])
+	}
+	return total, &w
+}
+
+// RunFig8 regenerates Fig. 8: reachability distribution for D = 1..3
+// (R=3, NoC=10, r=10).
+func RunFig8(o Options) *Table {
+	o.fill()
+	sc := Scenario5.Scaled(o.Scale)
+	depths := []int{1, 2, 3}
+	hists := make([]*stats.Histogram, len(depths))
+	labels := make([]string, len(depths))
+	Parallel(len(depths), func(i int) {
+		cfg := card.Config{R: 3, MaxContactDist: 10, NoC: 10, Depth: depths[i], Method: card.EM}
+		h, _ := ReachabilityDistribution(sc, cfg, o.Seeds)
+		hists[i] = h
+		labels[i] = fmt.Sprintf("D=%d", depths[i])
+	})
+	return distributionTable(
+		fmt.Sprintf("Fig 8: reachability distribution vs D (N=%d, R=3, r=10, NoC=10)", sc.N),
+		labels, hists, o.Seeds)
+}
+
+// Fig9Configs are the per-size tunings printed inside Fig. 9.
+var Fig9Configs = []struct {
+	Scenario Scenario
+	NoC      int
+	R        int
+	MaxDist  int
+}{
+	{Table1Scenarios[0], 10, 3, 14}, // 250 nodes, 500x500
+	{Scenario5, 12, 5, 17},          // 500 nodes, 710x710
+	{Table1Scenarios[7], 15, 6, 24}, // 1000 nodes, 1000x1000
+}
+
+// RunFig9 regenerates Fig. 9: reachability distributions for three network
+// sizes with per-size (R, r, NoC) tunings.
+func RunFig9(o Options) *Table {
+	o.fill()
+	hists := make([]*stats.Histogram, len(Fig9Configs))
+	labels := make([]string, len(Fig9Configs))
+	Parallel(len(Fig9Configs), func(i int) {
+		fc := Fig9Configs[i]
+		sc := fc.Scenario.Scaled(o.Scale)
+		cfg := card.Config{R: fc.R, MaxContactDist: fc.MaxDist, NoC: fc.NoC, Depth: 1, Method: card.EM}
+		h, _ := ReachabilityDistribution(sc, cfg, o.Seeds)
+		hists[i] = h
+		labels[i] = fmt.Sprintf("N=%d,R=%d,r=%d,NoC=%d", sc.N, fc.R, fc.MaxDist, fc.NoC)
+	})
+	return distributionTable("Fig 9: reachability distribution across network sizes",
+		labels, hists, o.Seeds)
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper table/figure (or ablation) as a Table.
+type Runner func(Options) *Table
+
+// registry maps experiment ids to their runners. Ids match DESIGN.md's
+// per-experiment index.
+var registry = map[string]Runner{
+	"table1":       RunTable1,
+	"fig3":         RunFig3,
+	"fig4":         RunFig4,
+	"fig5":         RunFig5,
+	"fig6":         RunFig6,
+	"fig7":         RunFig7,
+	"fig8":         RunFig8,
+	"fig9":         RunFig9,
+	"fig10":        RunFig10,
+	"fig11":        RunFig11,
+	"fig12":        RunFig12,
+	"fig13":        RunFig13,
+	"fig14":        RunFig14,
+	"fig15":        RunFig15,
+	"abl-methods":  RunAblationMethods,
+	"abl-recovery": RunAblationRecovery,
+	"abl-qd":       RunAblationQD,
+	"abl-mobility": RunAblationMobility,
+	"replication":  RunReplication,
+	"smallworld":   RunSmallWorld,
+}
+
+// Names returns the sorted experiment ids.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for k := range registry {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the runner for an experiment id.
+func Lookup(name string) (Runner, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r, nil
+}
+
+// PaperOrder lists the paper experiments in presentation order, for
+// "run everything" sweeps.
+var PaperOrder = []string{
+	"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+}
+
+// AblationOrder lists the extra design-choice and future-work experiments.
+var AblationOrder = []string{
+	"abl-methods", "abl-recovery", "abl-qd", "abl-mobility",
+	"replication", "smallworld",
+}

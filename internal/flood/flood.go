@@ -1,0 +1,91 @@
+// Package flood implements the flooding resource-discovery baseline the
+// paper compares against (§IV.D), plus TTL-bounded and expanding-ring
+// variants.
+//
+// Flooding model: the source broadcasts the query; every node hearing it
+// for the first time rebroadcasts once (duplicate suppression). Each
+// rebroadcast is one radio transmission, so a query costs one transmission
+// per reached node (minus the target, which answers instead of relaying).
+// The reply unicasts back along the reverse shortest path.
+package flood
+
+import (
+	"card/internal/manet"
+	"card/internal/topology"
+)
+
+// NodeID aliases the topology node index type.
+type NodeID = topology.NodeID
+
+// Result reports one flooding query.
+type Result struct {
+	// Found reports whether the target was reached.
+	Found bool
+	// Messages is the number of control messages the query generated
+	// (query transmissions plus, when counted, reply hops).
+	Messages int64
+	// PathHops is the shortest-path length source→target, or -1.
+	PathHops int
+}
+
+// Query floods the whole network from src for target. countReply includes
+// the unicast reply path in the message count.
+func Query(net *manet.Network, src, target NodeID, countReply bool) Result {
+	return QueryTTL(net, src, target, -1, countReply)
+}
+
+// QueryTTL floods at most ttl hops from src (ttl < 0 means unbounded).
+func QueryTTL(net *manet.Network, src, target NodeID, ttl int, countReply bool) Result {
+	before := net.Counters.Sum(manet.CatQuery, manet.CatReply)
+	bfs := net.Graph().BoundedBFS(src, ttl)
+	found := bfs.Dist[target] >= 0
+	for _, v := range bfs.Visited {
+		if found && v == target {
+			continue // the target answers; it does not relay
+		}
+		if ttl >= 0 && int(bfs.Dist[v]) >= ttl {
+			continue // leaf of the bounded flood: receives, does not relay
+		}
+		net.Broadcast(manet.CatQuery)
+	}
+	res := Result{Found: found, PathHops: -1}
+	if found {
+		res.PathHops = int(bfs.Dist[target])
+		if countReply {
+			net.SendHops(manet.CatReply, res.PathHops)
+		}
+	}
+	res.Messages = net.Counters.Sum(manet.CatQuery, manet.CatReply) - before
+	return res
+}
+
+// ExpandingRing performs the classic expanding-ring search: successive
+// floods with growing TTLs until the target is found or the last ring
+// fails. The paper's §III.C.4 contrasts CARD's directed escalation against
+// exactly this mechanism.
+func ExpandingRing(net *manet.Network, src, target NodeID, ttls []int, countReply bool) Result {
+	var total int64
+	for i, ttl := range ttls {
+		r := QueryTTL(net, src, target, ttl, countReply)
+		total += r.Messages
+		if r.Found {
+			r.Messages = total
+			return r
+		}
+		if i == len(ttls)-1 {
+			r.Messages = total
+			return r
+		}
+	}
+	return Result{Found: false, Messages: total, PathHops: -1}
+}
+
+// DoublingTTLs returns the TTL schedule 1, 2, 4, ... capped at max, ending
+// with an unbounded flood (-1), the standard expanding-ring schedule.
+func DoublingTTLs(max int) []int {
+	var ttls []int
+	for t := 1; t < max; t *= 2 {
+		ttls = append(ttls, t)
+	}
+	return append(ttls, -1)
+}

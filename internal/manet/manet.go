@@ -1,0 +1,220 @@
+// Package manet binds placement, mobility and radio range into the network
+// substrate the discovery protocols run on: a time-indexed unit-disk
+// connectivity snapshot plus categorized control-message accounting.
+//
+// # Simulation model
+//
+// The paper's NS-2 experiments deliberately ignore MAC/PHY effects, so the
+// relevant physics reduce to: (1) which links exist at time t (unit disk
+// over mobile positions), and (2) how many control-message transmissions
+// each mechanism generates. Network models exactly that. Control packets
+// are executed as synchronous hop walks at the instant they are sent —
+// packet flight time (µs–ms) is negligible against mobility and validation
+// periods (seconds).
+//
+// The topology snapshot is refreshed explicitly (RefreshAt); protocols
+// observe link churn between refreshes exactly as a beacon-driven MANET
+// stack observes it between hello intervals.
+package manet
+
+import (
+	"fmt"
+
+	"card/internal/geom"
+	"card/internal/mobility"
+	"card/internal/topology"
+	"card/internal/xrand"
+)
+
+// NodeID aliases the topology node index type.
+type NodeID = topology.NodeID
+
+// Category classifies control messages for the paper's overhead metrics.
+type Category int
+
+// Control-message categories. The paper's figures aggregate them in
+// different combinations: Fig. 4/12 count CSQBacktrack, Fig. 10/11 count
+// Select+Backtrack+Validate+Recovery, Fig. 15 compares Query+Reply traffic
+// across schemes with CARD's Select/Validate shown separately.
+const (
+	CatDSDV      Category = iota // proactive neighborhood updates
+	CatCSQ                       // contact-selection forward hops
+	CatBacktrack                 // contact-selection backtrack hops
+	CatValidate                  // contact path-validation hops
+	CatRecovery                  // local-recovery lookups and splices
+	CatQuery                     // resource query hops (DSQ / flood / bordercast)
+	CatReply                     // reply-path hops
+	numCategories
+)
+
+var categoryNames = [numCategories]string{
+	"dsdv", "csq", "backtrack", "validate", "recovery", "query", "reply",
+}
+
+func (c Category) String() string {
+	if c < 0 || int(c) >= len(categoryNames) {
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// Counters tallies control-message transmissions per category. The zero
+// value is ready to use. Not safe for concurrent use: every simulation run
+// owns its Network (and hence its Counters) exclusively.
+type Counters struct {
+	c [numCategories]int64
+}
+
+// Add records n transmissions of category cat.
+func (k *Counters) Add(cat Category, n int) { k.c[cat] += int64(n) }
+
+// Get returns the count for one category.
+func (k *Counters) Get(cat Category) int64 { return k.c[cat] }
+
+// Sum returns the combined count across the given categories.
+func (k *Counters) Sum(cats ...Category) int64 {
+	var s int64
+	for _, c := range cats {
+		s += k.c[c]
+	}
+	return s
+}
+
+// Total returns the count across all categories.
+func (k *Counters) Total() int64 {
+	var s int64
+	for _, v := range k.c {
+		s += v
+	}
+	return s
+}
+
+// Snapshot returns a copy of the current tallies, for window deltas.
+func (k *Counters) Snapshot() Counters { return *k }
+
+// DiffSince returns per-category counts accumulated since the snapshot.
+func (k *Counters) DiffSince(prev Counters) Counters {
+	var d Counters
+	for i := range k.c {
+		d.c[i] = k.c[i] - prev.c[i]
+	}
+	return d
+}
+
+// Reset zeroes all categories.
+func (k *Counters) Reset() { k.c = [numCategories]int64{} }
+
+func (k *Counters) String() string {
+	s := ""
+	for i, v := range k.c {
+		if v == 0 {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", Category(i), v)
+	}
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}
+
+// Network is the substrate protocols run on. It is single-goroutine: each
+// simulation run constructs and drives its own Network.
+type Network struct {
+	model   mobility.Model
+	txRange float64
+	rng     *xrand.Rand
+
+	now   float64
+	epoch uint64
+	pos   []geom.Point
+	graph *topology.Graph
+
+	// Counters tallies all control-message transmissions on this network.
+	Counters Counters
+}
+
+// New creates a network over the mobility model with the given transmission
+// range and takes the initial topology snapshot at t=0.
+func New(model mobility.Model, txRange float64, rng *xrand.Rand) *Network {
+	if txRange <= 0 {
+		panic("manet: non-positive transmission range")
+	}
+	n := &Network{
+		model:   model,
+		txRange: txRange,
+		rng:     rng,
+		pos:     make([]geom.Point, model.N()),
+	}
+	n.rebuild(0)
+	return n
+}
+
+func (n *Network) rebuild(t float64) {
+	n.model.PositionsAt(t, n.pos)
+	n.graph = topology.Build(n.pos, n.model.Area(), n.txRange)
+	n.now = t
+	n.epoch++
+}
+
+// RefreshAt re-samples node positions at time t and rebuilds the
+// connectivity snapshot. t must be >= the previous refresh time.
+func (n *Network) RefreshAt(t float64) {
+	if t < n.now {
+		panic(fmt.Sprintf("manet: refresh at %v before now %v", t, n.now))
+	}
+	n.rebuild(t)
+}
+
+// N returns the number of nodes.
+func (n *Network) N() int { return n.model.N() }
+
+// Now returns the time of the current snapshot.
+func (n *Network) Now() float64 { return n.now }
+
+// Epoch returns a counter that increments at every refresh; consumers cache
+// derived state (neighborhood views) keyed by epoch.
+func (n *Network) Epoch() uint64 { return n.epoch }
+
+// Graph returns the current connectivity snapshot.
+func (n *Network) Graph() *topology.Graph { return n.graph }
+
+// TxRange returns the radio range in meters.
+func (n *Network) TxRange() float64 { return n.txRange }
+
+// Rng returns the network's deterministic random stream (used by protocols
+// for forwarding choices).
+func (n *Network) Rng() *xrand.Rand { return n.rng }
+
+// Adjacent reports whether u and v currently share a link.
+func (n *Network) Adjacent(u, v NodeID) bool { return n.graph.Adjacent(u, v) }
+
+// Neighbors returns u's current one-hop neighbors (do not mutate).
+func (n *Network) Neighbors(u NodeID) []NodeID { return n.graph.Neighbors(u) }
+
+// SendHop accounts one unicast hop transmission of category cat.
+func (n *Network) SendHop(cat Category) { n.Counters.Add(cat, 1) }
+
+// SendHops accounts k unicast hop transmissions of category cat.
+func (n *Network) SendHops(cat Category, k int) { n.Counters.Add(cat, k) }
+
+// Broadcast accounts one local broadcast transmission of category cat
+// (one radio transmission heard by all current neighbors).
+func (n *Network) Broadcast(cat Category) { n.Counters.Add(cat, 1) }
+
+// WalkPath accounts the unicast transmissions needed to move one packet
+// along path (len(path)-1 hops) and reports whether every hop exists in the
+// current snapshot. On a broken hop it stops counting at the break and
+// returns the index of the node that still holds the packet.
+func (n *Network) WalkPath(cat Category, path []NodeID) (ok bool, holder int) {
+	for i := 0; i+1 < len(path); i++ {
+		if !n.graph.Adjacent(path[i], path[i+1]) {
+			return false, i
+		}
+		n.SendHop(cat)
+	}
+	return true, len(path) - 1
+}

@@ -1,0 +1,258 @@
+// Package mobility provides node-movement models for the MANET simulator.
+//
+// The paper evaluates CARD under the random way-point (RWP) model; the
+// package also offers Static (the paper's sensor-network motivation) and a
+// bounded RandomWalk for robustness experiments.
+//
+// Models are *analytic*: Positions(t) is a pure function of the model's
+// seed and t for the RWP model (each node follows a deterministic sequence
+// of legs), so the simulator can sample positions at arbitrary times without
+// integrating, and two samplings of the same time agree exactly.
+// Implementations are stateful only as a cache of the current leg; sampling
+// times must be non-decreasing per model instance.
+package mobility
+
+import (
+	"fmt"
+
+	"card/internal/geom"
+	"card/internal/xrand"
+)
+
+// Model yields node positions over time. Time arguments must be
+// non-decreasing across calls (the simulator's clock is monotone).
+type Model interface {
+	// N returns the number of nodes.
+	N() int
+	// Area returns the deployment area.
+	Area() geom.Rect
+	// PositionsAt fills dst (length N) with node positions at time t.
+	PositionsAt(t float64, dst []geom.Point)
+}
+
+// Static pins nodes at their initial placement forever.
+type Static struct {
+	area geom.Rect
+	pos  []geom.Point
+}
+
+// NewStatic creates a static model over the given positions.
+func NewStatic(pos []geom.Point, area geom.Rect) *Static {
+	return &Static{area: area, pos: append([]geom.Point(nil), pos...)}
+}
+
+// N implements Model.
+func (s *Static) N() int { return len(s.pos) }
+
+// Area implements Model.
+func (s *Static) Area() geom.Rect { return s.area }
+
+// PositionsAt implements Model.
+func (s *Static) PositionsAt(_ float64, dst []geom.Point) {
+	copy(dst, s.pos)
+}
+
+// RWPConfig parameterizes the random way-point model.
+type RWPConfig struct {
+	MinSpeed float64 // m/s, > 0 (zero min speed famously decays RWP to a halt)
+	MaxSpeed float64 // m/s, >= MinSpeed
+	Pause    float64 // seconds to dwell at each waypoint, >= 0
+}
+
+// DefaultRWP matches the era's common NS-2 setup: uniform speed in
+// [1, 19] m/s, no pause. The paper does not state its speed range; this
+// choice is recorded in EXPERIMENTS.md and configurable everywhere.
+func DefaultRWP() RWPConfig { return RWPConfig{MinSpeed: 1, MaxSpeed: 19, Pause: 0} }
+
+func (c RWPConfig) validate() error {
+	if c.MinSpeed <= 0 {
+		return fmt.Errorf("mobility: MinSpeed must be > 0, got %v", c.MinSpeed)
+	}
+	if c.MaxSpeed < c.MinSpeed {
+		return fmt.Errorf("mobility: MaxSpeed %v < MinSpeed %v", c.MaxSpeed, c.MinSpeed)
+	}
+	if c.Pause < 0 {
+		return fmt.Errorf("mobility: negative pause %v", c.Pause)
+	}
+	return nil
+}
+
+// leg is one segment of a node's trajectory: pause at From until Depart,
+// then move to To, arriving at Arrive.
+type leg struct {
+	from, to geom.Point
+	depart   float64
+	arrive   float64
+}
+
+// RandomWaypoint implements the classic RWP model: each node repeatedly
+// picks a uniform destination in the area and a uniform speed in
+// [MinSpeed, MaxSpeed], travels there in a straight line, pauses, and
+// repeats. Each node has its own derived RNG stream, so trajectories are
+// independent of each other and of sampling granularity.
+type RandomWaypoint struct {
+	cfg  RWPConfig
+	area geom.Rect
+	rngs []*xrand.Rand
+	legs []leg
+}
+
+// NewRandomWaypoint creates an RWP model for n nodes. Initial positions are
+// uniform in the area (the standard, if slightly non-stationary, choice).
+func NewRandomWaypoint(n int, area geom.Rect, cfg RWPConfig, rng *xrand.Rand) (*RandomWaypoint, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &RandomWaypoint{
+		cfg:  cfg,
+		area: area,
+		rngs: make([]*xrand.Rand, n),
+		legs: make([]leg, n),
+	}
+	for i := 0; i < n; i++ {
+		m.rngs[i] = rng.Derive(uint64(i))
+		start := geom.Point{X: m.rngs[i].Range(0, area.W), Y: m.rngs[i].Range(0, area.H)}
+		m.legs[i] = m.nextLeg(i, start, 0)
+	}
+	return m, nil
+}
+
+// nextLeg draws the following waypoint and speed for node i, departing from
+// p at time t (after the configured pause).
+func (m *RandomWaypoint) nextLeg(i int, p geom.Point, t float64) leg {
+	r := m.rngs[i]
+	dest := geom.Point{X: r.Range(0, m.area.W), Y: r.Range(0, m.area.H)}
+	speed := r.Range(m.cfg.MinSpeed, m.cfg.MaxSpeed)
+	if speed <= 0 { // MinSpeed>0 guarantees this, but belt and braces
+		speed = m.cfg.MinSpeed
+	}
+	depart := t + m.cfg.Pause
+	travel := p.Dist(dest) / speed
+	return leg{from: p, to: dest, depart: depart, arrive: depart + travel}
+}
+
+// N implements Model.
+func (m *RandomWaypoint) N() int { return len(m.legs) }
+
+// Area implements Model.
+func (m *RandomWaypoint) Area() geom.Rect { return m.area }
+
+// PositionsAt implements Model. t must be non-decreasing across calls.
+func (m *RandomWaypoint) PositionsAt(t float64, dst []geom.Point) {
+	for i := range m.legs {
+		dst[i] = m.positionAt(i, t)
+	}
+}
+
+func (m *RandomWaypoint) positionAt(i int, t float64) geom.Point {
+	l := &m.legs[i]
+	for t >= l.arrive {
+		*l = m.nextLeg(i, l.to, l.arrive)
+	}
+	if t <= l.depart {
+		return l.from
+	}
+	frac := (t - l.depart) / (l.arrive - l.depart)
+	return l.from.Lerp(l.to, frac)
+}
+
+// RandomWalk moves each node with a constant speed in a random direction,
+// re-drawing the direction every Epoch seconds and reflecting off the area
+// boundary. A simple adversarial complement to RWP (no convergence to the
+// center, persistent motion everywhere).
+type RandomWalk struct {
+	area  geom.Rect
+	speed float64
+	epoch float64
+	rngs  []*xrand.Rand
+	pos   []geom.Point
+	vel   []geom.Point
+	now   float64
+}
+
+// NewRandomWalk creates a random-walk model with the given constant speed
+// (m/s) and direction-change epoch (s).
+func NewRandomWalk(pos []geom.Point, area geom.Rect, speed, epoch float64, rng *xrand.Rand) (*RandomWalk, error) {
+	if speed < 0 {
+		return nil, fmt.Errorf("mobility: negative speed %v", speed)
+	}
+	if epoch <= 0 {
+		return nil, fmt.Errorf("mobility: non-positive epoch %v", epoch)
+	}
+	m := &RandomWalk{
+		area:  area,
+		speed: speed,
+		epoch: epoch,
+		rngs:  make([]*xrand.Rand, len(pos)),
+		pos:   append([]geom.Point(nil), pos...),
+		vel:   make([]geom.Point, len(pos)),
+	}
+	for i := range m.rngs {
+		m.rngs[i] = rng.Derive(uint64(i))
+		m.redraw(i)
+	}
+	return m, nil
+}
+
+func (m *RandomWalk) redraw(i int) {
+	// Uniform direction via rejection sampling on the unit disk: avoids
+	// importing math just for Sincos and stays exactly reproducible.
+	r := m.rngs[i]
+	for {
+		x, y := r.Range(-1, 1), r.Range(-1, 1)
+		n := geom.Point{X: x, Y: y}.Norm()
+		if n > 1e-3 && n <= 1 {
+			m.vel[i] = geom.Point{X: x / n * m.speed, Y: y / n * m.speed}
+			return
+		}
+	}
+}
+
+// N implements Model.
+func (m *RandomWalk) N() int { return len(m.pos) }
+
+// Area implements Model.
+func (m *RandomWalk) Area() geom.Rect { return m.area }
+
+// PositionsAt implements Model. Advances internal state; t must be
+// non-decreasing.
+func (m *RandomWalk) PositionsAt(t float64, dst []geom.Point) {
+	for t > m.now {
+		dt := t - m.now
+		if dt > m.epoch {
+			dt = m.epoch
+		}
+		m.advance(dt)
+		m.now += dt
+		if dt == m.epoch {
+			for i := range m.rngs {
+				m.redraw(i)
+			}
+		}
+	}
+	copy(dst, m.pos)
+}
+
+func (m *RandomWalk) advance(dt float64) {
+	for i := range m.pos {
+		p := geom.Point{X: m.pos[i].X + m.vel[i].X*dt, Y: m.pos[i].Y + m.vel[i].Y*dt}
+		// Reflect off each wall.
+		if p.X < 0 {
+			p.X = -p.X
+			m.vel[i].X = -m.vel[i].X
+		}
+		if p.X > m.area.W {
+			p.X = 2*m.area.W - p.X
+			m.vel[i].X = -m.vel[i].X
+		}
+		if p.Y < 0 {
+			p.Y = -p.Y
+			m.vel[i].Y = -m.vel[i].Y
+		}
+		if p.Y > m.area.H {
+			p.Y = 2*m.area.H - p.Y
+			m.vel[i].Y = -m.vel[i].Y
+		}
+		m.pos[i] = m.area.Clamp(p)
+	}
+}

@@ -1,0 +1,248 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"card/internal/geom"
+	"card/internal/xrand"
+)
+
+var area = geom.Rect{W: 710, H: 710}
+
+func TestStatic(t *testing.T) {
+	pos := []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}
+	m := NewStatic(pos, area)
+	if m.N() != 2 || m.Area() != area {
+		t.Fatal("Static metadata wrong")
+	}
+	dst := make([]geom.Point, 2)
+	m.PositionsAt(0, dst)
+	m.PositionsAt(100, dst)
+	if dst[0] != pos[0] || dst[1] != pos[1] {
+		t.Errorf("static nodes moved: %v", dst)
+	}
+	// The model must have copied its input.
+	pos[0].X = 99
+	m.PositionsAt(200, dst)
+	if dst[0].X == 99 {
+		t.Error("Static aliases caller slice")
+	}
+}
+
+func TestRWPConfigValidation(t *testing.T) {
+	cases := []RWPConfig{
+		{MinSpeed: 0, MaxSpeed: 10},
+		{MinSpeed: -1, MaxSpeed: 10},
+		{MinSpeed: 5, MaxSpeed: 4},
+		{MinSpeed: 1, MaxSpeed: 2, Pause: -1},
+	}
+	for _, cfg := range cases {
+		if _, err := NewRandomWaypoint(5, area, cfg, xrand.New(1)); err == nil {
+			t.Errorf("config %+v accepted, want error", cfg)
+		}
+	}
+	if _, err := NewRandomWaypoint(5, area, DefaultRWP(), xrand.New(1)); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestRWPStaysInArea(t *testing.T) {
+	m, err := NewRandomWaypoint(50, area, DefaultRWP(), xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]geom.Point, 50)
+	for ti := 0; ti <= 600; ti++ {
+		tm := float64(ti) * 0.5
+		m.PositionsAt(tm, dst)
+		for i, p := range dst {
+			if !area.Contains(p) {
+				t.Fatalf("node %d at %v outside area at t=%v", i, p, tm)
+			}
+		}
+	}
+}
+
+func TestRWPSpeedBounds(t *testing.T) {
+	cfg := RWPConfig{MinSpeed: 5, MaxSpeed: 10}
+	m, err := NewRandomWaypoint(20, area, cfg, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 0.05
+	prev := make([]geom.Point, 20)
+	cur := make([]geom.Point, 20)
+	m.PositionsAt(0, prev)
+	for step := 1; step <= 2000; step++ {
+		m.PositionsAt(float64(step)*dt, cur)
+		for i := range cur {
+			v := cur[i].Dist(prev[i]) / dt
+			// Instantaneous speed can only be <= MaxSpeed; waypoint turns
+			// within a step shorten displacement, so only check the cap.
+			if v > cfg.MaxSpeed*1.0001 {
+				t.Fatalf("node %d speed %v exceeds max %v", i, v, cfg.MaxSpeed)
+			}
+		}
+		copy(prev, cur)
+	}
+}
+
+func TestRWPNodesActuallyMove(t *testing.T) {
+	m, _ := NewRandomWaypoint(10, area, DefaultRWP(), xrand.New(3))
+	a := make([]geom.Point, 10)
+	b := make([]geom.Point, 10)
+	m.PositionsAt(0, a)
+	m.PositionsAt(30, b)
+	moved := 0
+	for i := range a {
+		if a[i].Dist(b[i]) > 1 {
+			moved++
+		}
+	}
+	if moved < 8 {
+		t.Errorf("only %d/10 nodes moved over 30s", moved)
+	}
+}
+
+func TestRWPDeterministicAcrossInstances(t *testing.T) {
+	m1, _ := NewRandomWaypoint(15, area, DefaultRWP(), xrand.New(99))
+	m2, _ := NewRandomWaypoint(15, area, DefaultRWP(), xrand.New(99))
+	a := make([]geom.Point, 15)
+	b := make([]geom.Point, 15)
+	for _, tm := range []float64{0, 1.5, 7.25, 100} {
+		m1.PositionsAt(tm, a)
+		m2.PositionsAt(tm, b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("instances diverge at t=%v node %d: %v vs %v", tm, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestRWPSamplingGranularityInvariance(t *testing.T) {
+	// Sampling every 0.1s vs jumping straight to t must agree: positions are
+	// a function of t, not of the sampling schedule.
+	m1, _ := NewRandomWaypoint(10, area, DefaultRWP(), xrand.New(5))
+	m2, _ := NewRandomWaypoint(10, area, DefaultRWP(), xrand.New(5))
+	fine := make([]geom.Point, 10)
+	coarse := make([]geom.Point, 10)
+	for ti := 1; ti <= 500; ti++ {
+		m1.PositionsAt(float64(ti)*0.1, fine)
+	}
+	m2.PositionsAt(50, coarse)
+	for i := range fine {
+		if fine[i].Dist(coarse[i]) > 1e-9 {
+			t.Fatalf("node %d: fine sampling %v vs coarse %v", i, fine[i], coarse[i])
+		}
+	}
+}
+
+func TestRWPPause(t *testing.T) {
+	cfg := RWPConfig{MinSpeed: 1, MaxSpeed: 1, Pause: 5}
+	m, _ := NewRandomWaypoint(5, area, cfg, xrand.New(8))
+	a := make([]geom.Point, 5)
+	b := make([]geom.Point, 5)
+	// During the initial pause [0, 5) nodes must not move.
+	m.PositionsAt(0, a)
+	m.PositionsAt(4.9, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d moved during pause: %v -> %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRandomWalkValidation(t *testing.T) {
+	pos := []geom.Point{{X: 1, Y: 1}}
+	if _, err := NewRandomWalk(pos, area, -1, 1, xrand.New(1)); err == nil {
+		t.Error("negative speed accepted")
+	}
+	if _, err := NewRandomWalk(pos, area, 1, 0, xrand.New(1)); err == nil {
+		t.Error("zero epoch accepted")
+	}
+}
+
+func TestRandomWalkStaysInAreaAndMoves(t *testing.T) {
+	rng := xrand.New(21)
+	pos := make([]geom.Point, 30)
+	for i := range pos {
+		pos[i] = geom.Point{X: rng.Range(0, area.W), Y: rng.Range(0, area.H)}
+	}
+	m, err := NewRandomWalk(pos, area, 10, 2, xrand.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]geom.Point, 30)
+	start := append([]geom.Point(nil), pos...)
+	for ti := 1; ti <= 100; ti++ {
+		m.PositionsAt(float64(ti)*0.5, dst)
+		for i, p := range dst {
+			if !area.Contains(p) {
+				t.Fatalf("walk node %d escaped to %v", i, p)
+			}
+		}
+	}
+	moved := 0
+	for i := range dst {
+		if start[i].Dist(dst[i]) > 1 {
+			moved++
+		}
+	}
+	if moved < 25 {
+		t.Errorf("only %d/30 random-walk nodes moved", moved)
+	}
+}
+
+func TestRandomWalkSpeedRespected(t *testing.T) {
+	pos := []geom.Point{{X: 355, Y: 355}}
+	m, _ := NewRandomWalk(pos, area, 7, 5, xrand.New(2))
+	prev := make([]geom.Point, 1)
+	cur := make([]geom.Point, 1)
+	m.PositionsAt(0, prev)
+	const dt = 0.1
+	for step := 1; step <= 500; step++ {
+		m.PositionsAt(float64(step)*dt, cur)
+		v := cur[0].Dist(prev[0]) / dt
+		// Reflection can shorten but never lengthen displacement.
+		if v > 7*1.0001 {
+			t.Fatalf("walk speed %v exceeds 7", v)
+		}
+		copy(prev, cur)
+	}
+}
+
+func TestQuickRWPPositionsFinite(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		m, err := NewRandomWaypoint(5, area, DefaultRWP(), rng)
+		if err != nil {
+			return false
+		}
+		dst := make([]geom.Point, 5)
+		for _, tm := range []float64{0, 3.7, 11, 250} {
+			m.PositionsAt(tm, dst)
+			for _, p := range dst {
+				if math.IsNaN(p.X) || math.IsNaN(p.Y) || !area.Contains(p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRWPSample500(b *testing.B) {
+	m, _ := NewRandomWaypoint(500, area, DefaultRWP(), xrand.New(1))
+	dst := make([]geom.Point, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PositionsAt(float64(i)*0.25, dst)
+	}
+}

@@ -1,0 +1,95 @@
+package neighborhood
+
+import (
+	"card/internal/bitset"
+	"card/internal/manet"
+	"card/internal/topology"
+)
+
+// Oracle provides the converged R-hop neighborhood view over the network's
+// current topology snapshot. Views are computed lazily per node and cached
+// until the network epoch changes, so mobile simulations pay only for the
+// nodes actually queried between refreshes.
+type Oracle struct {
+	net *manet.Network
+	r   int
+
+	epoch uint64
+	views []*oracleView // indexed by node, nil = not yet computed this epoch
+}
+
+type oracleView struct {
+	bfs   *topology.BFSResult
+	set   *bitset.Set
+	edges []NodeID
+}
+
+// NewOracle creates an oracle neighborhood provider with radius r over net.
+func NewOracle(net *manet.Network, r int) *Oracle {
+	if r < 1 {
+		panic("neighborhood: radius must be >= 1")
+	}
+	return &Oracle{
+		net:   net,
+		r:     r,
+		epoch: net.Epoch(),
+		views: make([]*oracleView, net.N()),
+	}
+}
+
+// R implements Provider.
+func (o *Oracle) R() int { return o.r }
+
+func (o *Oracle) view(u NodeID) *oracleView {
+	if e := o.net.Epoch(); e != o.epoch {
+		o.epoch = e
+		for i := range o.views {
+			o.views[i] = nil
+		}
+	}
+	if v := o.views[u]; v != nil {
+		return v
+	}
+	g := o.net.Graph()
+	bfs := g.BoundedBFS(u, o.r)
+	set := bitset.New(g.N())
+	var edges []NodeID
+	for _, w := range bfs.Visited {
+		set.Add(int(w))
+		if int(bfs.Dist[w]) == o.r {
+			edges = append(edges, w)
+		}
+	}
+	v := &oracleView{bfs: bfs, set: set, edges: edges}
+	o.views[u] = v
+	return v
+}
+
+// Set implements Provider.
+func (o *Oracle) Set(u NodeID) *bitset.Set { return o.view(u).set }
+
+// Contains implements Provider.
+func (o *Oracle) Contains(u, x NodeID) bool { return o.view(u).set.Contains(int(x)) }
+
+// Dist implements Provider.
+func (o *Oracle) Dist(u, x NodeID) int {
+	v := o.view(u)
+	if !v.set.Contains(int(x)) {
+		return -1
+	}
+	return int(v.bfs.Dist[x])
+}
+
+// Route implements Provider.
+func (o *Oracle) Route(u, x NodeID) []NodeID {
+	v := o.view(u)
+	if !v.set.Contains(int(x)) {
+		return nil
+	}
+	return v.bfs.PathTo(x)
+}
+
+// EdgeNodes implements Provider.
+func (o *Oracle) EdgeNodes(u NodeID) []NodeID { return o.view(u).edges }
+
+var _ Provider = (*Oracle)(nil)

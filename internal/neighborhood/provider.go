@@ -1,0 +1,56 @@
+// Package neighborhood implements the R-hop proactive zone that every CARD
+// node maintains: "each node proactively (using a protocol such as DSDV)
+// maintains state for all the nodes in its neighborhood" (§III.C).
+//
+// Two providers are offered:
+//
+//   - [Oracle] — the converged view: R-hop BFS over the current topology
+//     snapshot, cached per network epoch. This matches how the paper's
+//     analysis treats the neighborhood (its overhead metrics deliberately
+//     exclude proactive-update traffic), and is the default for experiment
+//     runs.
+//   - [DSDV] — an actual scoped destination-sequenced distance-vector
+//     protocol: per-destination sequence numbers, periodic full dumps,
+//     triggered updates on link breaks, hop-limited to R. It exists to
+//     demonstrate and test the substrate end to end; on a static network it
+//     provably converges to the Oracle view.
+package neighborhood
+
+import (
+	"card/internal/bitset"
+	"card/internal/topology"
+)
+
+// NodeID aliases the topology node index type.
+type NodeID = topology.NodeID
+
+// Provider is the neighborhood view CARD consumes.
+//
+// By convention a node is a member of its own neighborhood (distance 0);
+// this makes reachability unions self-consistent.
+type Provider interface {
+	// R returns the neighborhood radius in hops.
+	R() int
+	// Set returns the membership bit set of u's neighborhood. The returned
+	// set is owned by the provider and valid until the next topology
+	// refresh; callers must not mutate it.
+	Set(u NodeID) *bitset.Set
+	// Contains reports whether x lies in u's neighborhood.
+	Contains(u, x NodeID) bool
+	// Dist returns the hop distance from u to x if x is in u's
+	// neighborhood, else -1.
+	Dist(u, x NodeID) int
+	// Route returns an intra-neighborhood route u→x inclusive of both
+	// endpoints, or nil if x is outside u's neighborhood.
+	Route(u, x NodeID) []NodeID
+	// EdgeNodes returns the nodes at exactly R hops from u ("edge nodes"
+	// in the paper). The slice is owned by the provider; do not mutate.
+	EdgeNodes(u NodeID) []NodeID
+}
+
+// Overlaps reports whether the neighborhoods of a and b intersect — the
+// paper's overlap predicate between a candidate contact and the source (or
+// a previously selected contact).
+func Overlaps(p Provider, a, b NodeID) bool {
+	return p.Set(a).Intersects(p.Set(b))
+}

@@ -1,0 +1,196 @@
+// Package resource adds the resource layer on top of CARD's node
+// discovery: named resources (services, data items, roles) hosted at one
+// or more nodes, discovered through any of the three schemes.
+//
+// The paper evaluates node discovery and leaves "various scenarios of ...
+// resource distributions in the network" as future work (§V); this
+// package implements that study. A Directory maps resource ids to holder
+// nodes; discovery for a resource succeeds when any holder is found, so
+// replication turns one lookup into an any-cast and changes every scheme's
+// cost curve.
+package resource
+
+import (
+	"fmt"
+	"sort"
+
+	"card/internal/card"
+	"card/internal/flood"
+	"card/internal/manet"
+	"card/internal/topology"
+	"card/internal/xrand"
+)
+
+// ID names a resource.
+type ID int32
+
+// NodeID aliases the topology node index type.
+type NodeID = topology.NodeID
+
+// Directory records which nodes hold which resources. It is the
+// simulator's bird's-eye registry; protocol-visible knowledge stays local
+// (a node knows the resources of its own neighborhood through the
+// proactive substrate, exactly as it knows the nodes themselves).
+type Directory struct {
+	n       int
+	holders map[ID][]NodeID
+	hosted  map[NodeID][]ID
+}
+
+// NewDirectory creates an empty directory over an n-node network.
+func NewDirectory(n int) *Directory {
+	return &Directory{
+		n:       n,
+		holders: make(map[ID][]NodeID),
+		hosted:  make(map[NodeID][]ID),
+	}
+}
+
+// Place registers node u as a holder of resource id. Duplicate placements
+// are ignored.
+func (d *Directory) Place(id ID, u NodeID) {
+	for _, h := range d.holders[id] {
+		if h == u {
+			return
+		}
+	}
+	d.holders[id] = append(d.holders[id], u)
+	d.hosted[u] = append(d.hosted[u], id)
+}
+
+// PlaceReplicas registers k distinct uniformly random holders for id.
+func (d *Directory) PlaceReplicas(id ID, k int, rng *xrand.Rand) {
+	if k > d.n {
+		k = d.n
+	}
+	perm := rng.Perm(d.n)
+	for i := 0; i < k; i++ {
+		d.Place(id, NodeID(perm[i]))
+	}
+}
+
+// Holders returns the nodes holding id (sorted, copy).
+func (d *Directory) Holders(id ID) []NodeID {
+	hs := append([]NodeID(nil), d.holders[id]...)
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	return hs
+}
+
+// Hosted returns the resources node u holds (copy).
+func (d *Directory) Hosted(u NodeID) []ID {
+	return append([]ID(nil), d.hosted[u]...)
+}
+
+// Resources returns the number of distinct resources registered.
+func (d *Directory) Resources() int { return len(d.holders) }
+
+func (d *Directory) String() string {
+	return fmt.Sprintf("directory: %d resources over %d nodes", len(d.holders), d.n)
+}
+
+// Result reports one resource discovery.
+type Result struct {
+	// Found reports whether some holder was located.
+	Found bool
+	// Holder is the located holder (undefined when !Found).
+	Holder NodeID
+	// Messages is the control traffic of the discovery.
+	Messages int64
+	// PathHops is the route length to the holder, or -1.
+	PathHops int
+}
+
+// DiscoverCARD finds a holder of id from src using the CARD protocol:
+// the source checks its own neighborhood for any holder, then queries
+// holders one at a time through the contact architecture, nearest-listed
+// first, stopping at the first hit.
+//
+// Contacts leverage neighborhood knowledge: a holder inside any queried
+// contact's neighborhood answers, so replication multiplies the effective
+// target set exactly as it would in a real deployment.
+func DiscoverCARD(p *card.Protocol, d *Directory, src NodeID, id ID) Result {
+	holders := d.holders[id]
+	if len(holders) == 0 {
+		return Result{Found: false, PathHops: -1}
+	}
+	nb := p.Neighborhood()
+	// Local resolution: any holder within the neighborhood table.
+	best := Result{Found: false, PathHops: -1}
+	for _, h := range holders {
+		if h == src {
+			return Result{Found: true, Holder: src, PathHops: 0}
+		}
+		if nb.Contains(src, h) {
+			hops := nb.Dist(src, h)
+			if !best.Found || hops < best.PathHops {
+				best = Result{Found: true, Holder: h, PathHops: hops}
+			}
+		}
+	}
+	if best.Found {
+		return best
+	}
+	// Remote resolution through contacts, holder by holder.
+	var msgs int64
+	for _, h := range holders {
+		r := p.Query(src, h)
+		msgs += r.Messages
+		if r.Found {
+			return Result{Found: true, Holder: h, Messages: msgs, PathHops: r.PathHops}
+		}
+	}
+	return Result{Found: false, Messages: msgs, PathHops: -1}
+}
+
+// DiscoverFlood finds a holder of id from src by flooding: the query
+// carries the resource id and the nearest holder answers. Cost is one
+// flood bounded by the distance to the nearest holder is not modeled —
+// plain duplicate-suppressed flooding reaches everyone, so the flood cost
+// is component-sized regardless of replication, while the reply comes from
+// the nearest holder.
+func DiscoverFlood(net *manet.Network, d *Directory, src NodeID, id ID) Result {
+	holders := d.holders[id]
+	if len(holders) == 0 {
+		return Result{Found: false, PathHops: -1}
+	}
+	// One flood; nearest reachable holder replies.
+	bfs := net.Graph().BFS(src)
+	nearest := NodeID(-1)
+	bestDist := int32(1 << 30)
+	for _, h := range holders {
+		if bfs.Dist[h] >= 0 && bfs.Dist[h] < bestDist {
+			bestDist = bfs.Dist[h]
+			nearest = h
+		}
+	}
+	if nearest < 0 {
+		r := flood.Query(net, src, holders[0], false) // dead flood: full cost
+		return Result{Found: false, Messages: r.Messages, PathHops: -1}
+	}
+	r := flood.Query(net, src, nearest, true)
+	return Result{Found: r.Found, Holder: nearest, Messages: r.Messages, PathHops: r.PathHops}
+}
+
+// DiscoverExpandingRing finds a holder via TTL-doubling floods, stopping
+// at the ring that first covers a holder — the classical anycast baseline.
+func DiscoverExpandingRing(net *manet.Network, d *Directory, src NodeID, id ID) Result {
+	holders := d.holders[id]
+	if len(holders) == 0 {
+		return Result{Found: false, PathHops: -1}
+	}
+	bfs := net.Graph().BFS(src)
+	nearest := NodeID(-1)
+	bestDist := int32(1 << 30)
+	for _, h := range holders {
+		if bfs.Dist[h] >= 0 && bfs.Dist[h] < bestDist {
+			bestDist = bfs.Dist[h]
+			nearest = h
+		}
+	}
+	if nearest < 0 {
+		r := flood.ExpandingRing(net, src, holders[0], flood.DoublingTTLs(64), false)
+		return Result{Found: false, Messages: r.Messages, PathHops: -1}
+	}
+	r := flood.ExpandingRing(net, src, nearest, flood.DoublingTTLs(64), true)
+	return Result{Found: r.Found, Holder: nearest, Messages: r.Messages, PathHops: r.PathHops}
+}

@@ -1,0 +1,265 @@
+package resource
+
+import (
+	"testing"
+
+	"card/internal/card"
+	"card/internal/geom"
+	"card/internal/manet"
+	"card/internal/mobility"
+	"card/internal/neighborhood"
+	"card/internal/topology"
+	"card/internal/xrand"
+)
+
+var area = geom.Rect{W: 710, H: 710}
+
+func testNet(seed uint64, n int) *manet.Network {
+	rng := xrand.New(seed)
+	pts := topology.UniformPositions(n, area, rng)
+	return manet.New(mobility.NewStatic(pts, area), 50, xrand.New(seed))
+}
+
+func testProtocol(t *testing.T, net *manet.Network) *card.Protocol {
+	t.Helper()
+	cfg := card.Config{R: 3, MaxContactDist: 16, NoC: 5, Depth: 2}
+	nb := neighborhood.NewOracle(net, cfg.R)
+	p, err := card.New(net, nb, cfg, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SelectAll(0)
+	return p
+}
+
+func TestDirectoryPlacement(t *testing.T) {
+	d := NewDirectory(100)
+	d.Place(1, 10)
+	d.Place(1, 20)
+	d.Place(1, 10) // duplicate ignored
+	d.Place(2, 10)
+	if got := d.Holders(1); len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Errorf("Holders(1) = %v", got)
+	}
+	if got := d.Hosted(10); len(got) != 2 {
+		t.Errorf("Hosted(10) = %v", got)
+	}
+	if d.Resources() != 2 {
+		t.Errorf("Resources = %d", d.Resources())
+	}
+}
+
+func TestPlaceReplicasDistinct(t *testing.T) {
+	d := NewDirectory(50)
+	d.PlaceReplicas(5, 10, xrand.New(3))
+	hs := d.Holders(5)
+	if len(hs) != 10 {
+		t.Fatalf("placed %d replicas, want 10", len(hs))
+	}
+	seen := map[NodeID]bool{}
+	for _, h := range hs {
+		if seen[h] {
+			t.Fatal("duplicate holder from PlaceReplicas")
+		}
+		seen[h] = true
+	}
+	// Clamps to network size.
+	d2 := NewDirectory(5)
+	d2.PlaceReplicas(1, 99, xrand.New(4))
+	if len(d2.Holders(1)) != 5 {
+		t.Errorf("over-replication not clamped: %d", len(d2.Holders(1)))
+	}
+}
+
+func TestDiscoverUnknownResource(t *testing.T) {
+	net := testNet(1, 100)
+	p := testProtocol(t, net)
+	d := NewDirectory(100)
+	if r := DiscoverCARD(p, d, 0, 99); r.Found || r.PathHops != -1 {
+		t.Errorf("unknown resource found: %+v", r)
+	}
+	if r := DiscoverFlood(net, d, 0, 99); r.Found {
+		t.Errorf("flood found unknown resource: %+v", r)
+	}
+}
+
+func TestDiscoverSelfHolder(t *testing.T) {
+	net := testNet(2, 100)
+	p := testProtocol(t, net)
+	d := NewDirectory(100)
+	d.Place(1, 5)
+	r := DiscoverCARD(p, d, 5, 1)
+	if !r.Found || r.Holder != 5 || r.PathHops != 0 || r.Messages != 0 {
+		t.Errorf("self-holder = %+v", r)
+	}
+}
+
+func TestDiscoverNeighborhoodHolderIsFree(t *testing.T) {
+	net := testNet(3, 200)
+	p := testProtocol(t, net)
+	nb := p.Neighborhood()
+	src := NodeID(0)
+	members := nb.Set(src).Slice()
+	if len(members) < 2 {
+		t.Skip("isolated source")
+	}
+	holder := NodeID(members[len(members)-1])
+	d := NewDirectory(200)
+	d.Place(7, holder)
+	r := DiscoverCARD(p, d, src, 7)
+	if !r.Found || r.Messages != 0 {
+		t.Errorf("neighborhood discovery = %+v, want free hit", r)
+	}
+	if r.PathHops != nb.Dist(src, holder) {
+		t.Errorf("PathHops = %d, want %d", r.PathHops, nb.Dist(src, holder))
+	}
+}
+
+func TestDiscoverPicksNearestNeighborhoodHolder(t *testing.T) {
+	net := testNet(4, 200)
+	p := testProtocol(t, net)
+	nb := p.Neighborhood()
+	src := NodeID(0)
+	members := nb.Set(src).Slice()
+	if len(members) < 3 {
+		t.Skip("source neighborhood too small")
+	}
+	var near, far NodeID = -1, -1
+	for _, m := range members {
+		mm := NodeID(m)
+		if mm == src {
+			continue
+		}
+		if nb.Dist(src, mm) == 1 && near < 0 {
+			near = mm
+		}
+		if nb.Dist(src, mm) == 3 {
+			far = mm
+		}
+	}
+	if near < 0 || far < 0 {
+		t.Skip("no 1-hop/3-hop pair available")
+	}
+	d := NewDirectory(200)
+	d.Place(9, far)
+	d.Place(9, near)
+	r := DiscoverCARD(p, d, src, 9)
+	if !r.Found || r.Holder != near {
+		t.Errorf("nearest holder not preferred: %+v (near=%d far=%d)", r, near, far)
+	}
+}
+
+func TestReplicationImprovesCARDDiscovery(t *testing.T) {
+	net := testNet(5, 300)
+	p := testProtocol(t, net)
+	found1, found8 := 0, 0
+	var msgs1, msgs8 int64
+	for trial := 0; trial < 30; trial++ {
+		rng := xrand.New(uint64(trial))
+		d1 := NewDirectory(300)
+		d1.PlaceReplicas(1, 1, rng)
+		d8 := NewDirectory(300)
+		d8.PlaceReplicas(1, 8, rng.Derive(1))
+		src := NodeID(rng.Intn(300))
+		r1 := DiscoverCARD(p, d1, src, 1)
+		r8 := DiscoverCARD(p, d8, src, 1)
+		if r1.Found {
+			found1++
+			msgs1 += r1.Messages
+		}
+		if r8.Found {
+			found8++
+			msgs8 += r8.Messages
+		}
+	}
+	if found8 < found1 {
+		t.Errorf("8 replicas found %d times, 1 replica %d times", found8, found1)
+	}
+}
+
+func TestDiscoverFloodFindsNearest(t *testing.T) {
+	net := testNet(6, 300)
+	d := NewDirectory(300)
+	comp := net.Graph().LargestComponent()
+	if len(comp) < 50 {
+		t.Skip("network too fragmented")
+	}
+	src := comp[0]
+	bfs := net.Graph().BFS(src)
+	// Place two holders at different distances within the component.
+	var nearH, farH NodeID = -1, -1
+	for _, v := range comp {
+		d := bfs.Dist[v]
+		if d == 2 && nearH < 0 {
+			nearH = v
+		}
+		if d >= 6 && farH < 0 {
+			farH = v
+		}
+	}
+	if nearH < 0 || farH < 0 {
+		t.Skip("could not place holders at distinct distances")
+	}
+	d.Place(3, farH)
+	d.Place(3, nearH)
+	r := DiscoverFlood(net, d, src, 3)
+	if !r.Found || r.Holder != nearH {
+		t.Errorf("flood holder = %+v, want nearest %d", r, nearH)
+	}
+	if r.PathHops != 2 {
+		t.Errorf("PathHops = %d, want 2", r.PathHops)
+	}
+}
+
+func TestExpandingRingCheaperThanFloodForNearHolder(t *testing.T) {
+	netA := testNet(7, 300)
+	netB := testNet(7, 300)
+	comp := netA.Graph().LargestComponent()
+	src := comp[0]
+	bfs := netA.Graph().BFS(src)
+	var holder NodeID = -1
+	for _, v := range comp {
+		if bfs.Dist[v] == 2 {
+			holder = v
+			break
+		}
+	}
+	if holder < 0 {
+		t.Skip("no 2-hop holder")
+	}
+	d := NewDirectory(300)
+	d.Place(4, holder)
+	ring := DiscoverExpandingRing(netA, d, src, 4)
+	full := DiscoverFlood(netB, d, src, 4)
+	if !ring.Found || !full.Found {
+		t.Fatal("both should find the holder")
+	}
+	if ring.Messages >= full.Messages {
+		t.Errorf("ring (%d msgs) not cheaper than flood (%d) for 2-hop holder",
+			ring.Messages, full.Messages)
+	}
+}
+
+func TestDiscoverUnreachableHolder(t *testing.T) {
+	// Two components: holder in the other one.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 500, Y: 500}}
+	a := geom.Rect{W: 600, H: 600}
+	net := manet.New(mobility.NewStatic(pts, a), 15, xrand.New(1))
+	cfg := card.Config{R: 2, MaxContactDist: 6, NoC: 2}
+	nb := neighborhood.NewOracle(net, cfg.R)
+	p, err := card.New(net, nb, cfg, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDirectory(3)
+	d.Place(1, 2)
+	if r := DiscoverCARD(p, d, 0, 1); r.Found {
+		t.Errorf("found unreachable holder: %+v", r)
+	}
+	if r := DiscoverFlood(net, d, 0, 1); r.Found {
+		t.Errorf("flood found unreachable holder: %+v", r)
+	}
+	if r := DiscoverExpandingRing(net, d, 0, 1); r.Found {
+		t.Errorf("ring found unreachable holder: %+v", r)
+	}
+}

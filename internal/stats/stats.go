@@ -1,0 +1,308 @@
+// Package stats provides the statistical accumulators the experiment
+// harness needs: running mean/variance (Welford), fixed-bin histograms
+// matching the paper's 5 %-bin reachability distributions, and time series
+// for the overhead-over-time figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Welford accumulates mean and variance in a single numerically stable pass.
+// The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 samples).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest sample (0 with no samples).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample (0 with no samples).
+func (w *Welford) Max() float64 { return w.max }
+
+// Merge folds another accumulator into w (Chan et al. parallel variance).
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n = n
+}
+
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f max=%.3f", w.n, w.Mean(), w.Std(), w.min, w.max)
+}
+
+// Histogram counts samples into fixed-width bins over [0, width*bins).
+// The paper's reachability distributions use width=5 (%), bins=20, with each
+// sample being one node's reachability percentage.
+type Histogram struct {
+	width  float64
+	counts []int64
+	under  int64 // samples < 0
+	over   int64 // samples >= width*len(counts)
+	total  int64
+}
+
+// NewHistogram creates a histogram with the given bin width and bin count.
+func NewHistogram(width float64, bins int) *Histogram {
+	if width <= 0 || bins <= 0 {
+		panic("stats: histogram needs positive width and bins")
+	}
+	return &Histogram{width: width, counts: make([]int64, bins)}
+}
+
+// NewReachabilityHistogram returns the paper's 5 %-bin, 20-bin histogram
+// over [0, 100).
+func NewReachabilityHistogram() *Histogram { return NewHistogram(5, 20) }
+
+// Add counts one sample. Samples below 0 or at/above the top edge are
+// tracked separately (a reachability of exactly 100 % falls in the last bin).
+func (h *Histogram) Add(x float64) {
+	h.total++
+	if x < 0 {
+		h.under++
+		return
+	}
+	i := int(x / h.width)
+	if i >= len(h.counts) {
+		// Clamp the exact top edge into the final bin; anything beyond is an
+		// outlier.
+		if x <= h.width*float64(len(h.counts))+1e-9 {
+			h.counts[len(h.counts)-1]++
+			return
+		}
+		h.over++
+		return
+	}
+	h.counts[i]++
+}
+
+// Bins returns a copy of the per-bin counts.
+func (h *Histogram) Bins() []int64 {
+	out := make([]int64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) int64 { return h.counts[i] }
+
+// NumBins returns the number of bins.
+func (h *Histogram) NumBins() int { return len(h.counts) }
+
+// BinWidth returns the bin width.
+func (h *Histogram) BinWidth() float64 { return h.width }
+
+// Total returns the number of samples added, including outliers.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Outliers returns the counts of below-range and above-range samples.
+func (h *Histogram) Outliers() (under, over int64) { return h.under, h.over }
+
+// Merge adds o's counts into h. Histograms must have identical shape.
+func (h *Histogram) Merge(o *Histogram) {
+	if h.width != o.width || len(h.counts) != len(o.counts) {
+		panic("stats: merging histograms of different shape")
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.under += o.under
+	h.over += o.over
+	h.total += o.total
+}
+
+// Mean returns the histogram mean using bin midpoints (outliers excluded).
+func (h *Histogram) Mean() float64 {
+	var sum float64
+	var n int64
+	for i, c := range h.counts {
+		sum += (float64(i) + 0.5) * h.width * float64(c)
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// FractionAtOrAbove returns the fraction of in-range samples in bins whose
+// lower edge is >= x. Used for "fraction of nodes with reachability >= 50 %".
+func (h *Histogram) FractionAtOrAbove(x float64) float64 {
+	var hit, n int64
+	for i, c := range h.counts {
+		n += c
+		if float64(i)*h.width >= x {
+			hit += c
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(hit) / float64(n)
+}
+
+// String renders a compact one-line view: "[5:12 10:40 ...]" listing
+// upper-edge:count for non-empty bins.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	first := true
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			sb.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&sb, "%g:%d", float64(i+1)*h.width, c)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Series is an (x, y) sequence for time-series figures: overhead per node
+// sampled at t = 2, 4, 6, 8, 10 s and the like.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// AddPoint appends one (x, y) sample.
+func (s *Series) AddPoint(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// YAt returns the y value for the first point with the given x, or
+// (0, false) when absent.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for i, v := range s.X {
+		if v == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// MaxY returns the largest y value (0 for an empty series).
+func (s *Series) MaxY() float64 {
+	m := 0.0
+	for i, v := range s.Y {
+		if i == 0 || v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Normalized returns a copy of the series with y values scaled into [0, 1]
+// by the maximum (the paper's Fig. 14 normalization). A zero series is
+// returned unchanged.
+func (s *Series) Normalized() *Series {
+	out := &Series{Name: s.Name, X: append([]float64(nil), s.X...), Y: append([]float64(nil), s.Y...)}
+	m := s.MaxY()
+	if m == 0 {
+		return out
+	}
+	for i := range out.Y {
+		out.Y[i] /= m
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: quantile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,341 @@
+// Package topology builds and analyzes the unit-disk connectivity graphs
+// underlying the MANET simulation.
+//
+// A Graph is an immutable snapshot: node positions plus adjacency under a
+// fixed transmission range. The mobility layer produces a fresh snapshot
+// whenever positions change; protocols query the snapshot through
+// [manet.Network].
+//
+// The package also computes the connectivity census reported in the paper's
+// Table 1: link count, mean node degree, network diameter, and average hop
+// count between reachable pairs.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"card/internal/geom"
+	"card/internal/xrand"
+)
+
+// NodeID indexes a node within a Graph; ids are dense in [0, N).
+type NodeID = int32
+
+// None is the sentinel for "no node" (e.g. BFS parent of a root).
+const None NodeID = -1
+
+// Graph is an immutable unit-disk connectivity snapshot.
+type Graph struct {
+	pos   []geom.Point
+	area  geom.Rect
+	rng   float64 // transmission range, meters
+	adj   [][]NodeID
+	links int
+}
+
+// Build constructs the unit-disk graph over the given positions: nodes u≠v
+// are adjacent iff dist(u,v) <= txRange. Runs in O(N·density) via a uniform
+// grid.
+func Build(pos []geom.Point, area geom.Rect, txRange float64) *Graph {
+	if txRange <= 0 {
+		panic("topology: non-positive transmission range")
+	}
+	g := &Graph{
+		pos:  append([]geom.Point(nil), pos...),
+		area: area,
+		rng:  txRange,
+		adj:  make([][]NodeID, len(pos)),
+	}
+	grid := geom.NewGrid(area, txRange)
+	for i, p := range g.pos {
+		grid.Insert(NodeID(i), p)
+	}
+	r2 := txRange * txRange
+	for i, p := range g.pos {
+		u := NodeID(i)
+		grid.VisitWithin(p, txRange, func(v NodeID) {
+			if v == u {
+				return
+			}
+			if p.Dist2(g.pos[v]) <= r2 {
+				g.adj[u] = append(g.adj[u], v)
+			}
+		})
+		// Deterministic neighbor order regardless of grid traversal.
+		sort.Slice(g.adj[u], func(a, b int) bool { return g.adj[u][a] < g.adj[u][b] })
+		g.links += len(g.adj[u])
+	}
+	g.links /= 2
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.pos) }
+
+// Area returns the deployment area.
+func (g *Graph) Area() geom.Rect { return g.area }
+
+// TxRange returns the transmission range in meters.
+func (g *Graph) TxRange() float64 { return g.rng }
+
+// Pos returns the position of node u.
+func (g *Graph) Pos(u NodeID) geom.Point { return g.pos[u] }
+
+// Neighbors returns the adjacency list of u. Callers must not mutate it.
+func (g *Graph) Neighbors(u NodeID) []NodeID { return g.adj[u] }
+
+// Degree returns the number of direct neighbors of u.
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// Links returns the number of undirected links.
+func (g *Graph) Links() int { return g.links }
+
+// Adjacent reports whether u and v share a link. O(log degree).
+func (g *Graph) Adjacent(u, v NodeID) bool {
+	a := g.adj[u]
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return i < len(a) && a[i] == v
+}
+
+// BFSResult holds hop distances and a shortest-path tree rooted at Source.
+type BFSResult struct {
+	Source NodeID
+	// Dist[v] is the hop distance from Source to v, or -1 if unreachable
+	// (or beyond the hop limit for bounded searches).
+	Dist []int32
+	// Parent[v] is v's predecessor on a shortest path from Source, or None.
+	Parent []NodeID
+	// Visited lists reached nodes in non-decreasing distance order,
+	// starting with Source itself.
+	Visited []NodeID
+}
+
+// BFS runs a breadth-first search from src across the whole graph.
+func (g *Graph) BFS(src NodeID) *BFSResult { return g.BoundedBFS(src, -1) }
+
+// BoundedBFS runs a breadth-first search from src, exploring at most
+// maxHops hops (maxHops < 0 means unbounded). Nodes beyond the bound have
+// Dist -1.
+func (g *Graph) BoundedBFS(src NodeID, maxHops int) *BFSResult {
+	n := g.N()
+	res := &BFSResult{
+		Source: src,
+		Dist:   make([]int32, n),
+		Parent: make([]NodeID, n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = -1
+		res.Parent[i] = None
+	}
+	res.Dist[src] = 0
+	res.Visited = append(res.Visited, src)
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if maxHops >= 0 && int(res.Dist[u]) >= maxHops {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if res.Dist[v] >= 0 {
+				continue
+			}
+			res.Dist[v] = res.Dist[u] + 1
+			res.Parent[v] = u
+			res.Visited = append(res.Visited, v)
+			queue = append(queue, v)
+		}
+	}
+	return res
+}
+
+// PathTo reconstructs the shortest path source→v from a BFS result,
+// inclusive of both endpoints. Returns nil if v was not reached.
+func (r *BFSResult) PathTo(v NodeID) []NodeID {
+	if r.Dist[v] < 0 {
+		return nil
+	}
+	path := make([]NodeID, 0, r.Dist[v]+1)
+	for u := v; u != None; u = r.Parent[u] {
+		path = append(path, u)
+	}
+	// Reverse in place: built leaf→root.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// Components returns the connected components, each a sorted node list,
+// ordered by descending size (ties by smallest member).
+func (g *Graph) Components() [][]NodeID {
+	n := g.N()
+	seen := make([]bool, n)
+	var comps [][]NodeID
+	for i := 0; i < n; i++ {
+		if seen[i] {
+			continue
+		}
+		res := g.BFS(NodeID(i))
+		comp := make([]NodeID, len(res.Visited))
+		copy(comp, res.Visited)
+		sort.Slice(comp, func(a, b int) bool { return comp[a] < comp[b] })
+		for _, v := range comp {
+			seen[v] = true
+		}
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(a, b int) bool {
+		if len(comps[a]) != len(comps[b]) {
+			return len(comps[a]) > len(comps[b])
+		}
+		return comps[a][0] < comps[b][0]
+	})
+	return comps
+}
+
+// LargestComponent returns the node set of the largest connected component.
+func (g *Graph) LargestComponent() []NodeID {
+	comps := g.Components()
+	if len(comps) == 0 {
+		return nil
+	}
+	return comps[0]
+}
+
+// Census is the connectivity summary reported in the paper's Table 1.
+type Census struct {
+	N          int     // nodes
+	Links      int     // undirected links
+	MeanDegree float64 // 2*Links/N
+	Diameter   int     // max shortest-path length over reachable pairs
+	AvgHops    float64 // mean shortest-path length over reachable pairs
+	// LargestComponentFrac is the fraction of nodes in the largest
+	// connected component (1.0 for a connected network). Table 1's sparser
+	// scenarios (e.g. 250 nodes over 1000x1000 m) are partitioned, which is
+	// visible in their small diameter / avg-hops numbers.
+	LargestComponentFrac float64
+	// MeanClustering is the mean local clustering coefficient — not in
+	// Table 1, but reported because the small-world argument (§I, [10][13])
+	// rests on high clustering plus short cuts.
+	MeanClustering float64
+}
+
+// ComputeCensus runs all-pairs BFS and summarizes connectivity. Pairs in
+// different components are excluded from Diameter/AvgHops, matching how a
+// partitioned scenario can legitimately report diameter smaller than a
+// denser one (cf. Table 1 scenario 3).
+func (g *Graph) ComputeCensus() Census {
+	n := g.N()
+	c := Census{N: n, Links: g.links}
+	if n > 0 {
+		c.MeanDegree = 2 * float64(g.links) / float64(n)
+	}
+	var sumHops, pairs float64
+	for i := 0; i < n; i++ {
+		res := g.BFS(NodeID(i))
+		for _, v := range res.Visited {
+			d := int(res.Dist[v])
+			if d == 0 {
+				continue
+			}
+			sumHops += float64(d)
+			pairs++
+			if d > c.Diameter {
+				c.Diameter = d
+			}
+		}
+	}
+	if pairs > 0 {
+		c.AvgHops = sumHops / pairs
+	}
+	if n > 0 {
+		c.LargestComponentFrac = float64(len(g.LargestComponent())) / float64(n)
+	}
+	c.MeanClustering = g.meanClustering()
+	return c
+}
+
+func (g *Graph) meanClustering() float64 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for u := 0; u < n; u++ {
+		adj := g.adj[u]
+		k := len(adj)
+		if k < 2 {
+			continue
+		}
+		closed := 0
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if g.Adjacent(adj[i], adj[j]) {
+					closed++
+				}
+			}
+		}
+		sum += 2 * float64(closed) / float64(k*(k-1))
+	}
+	return sum / float64(n)
+}
+
+func (c Census) String() string {
+	return fmt.Sprintf("N=%d links=%d degree=%.2f diameter=%d avgHops=%.2f lcc=%.2f",
+		c.N, c.Links, c.MeanDegree, c.Diameter, c.AvgHops, c.LargestComponentFrac)
+}
+
+// UniformPositions places n nodes uniformly at random in area.
+func UniformPositions(n int, area geom.Rect, rng *xrand.Rand) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Range(0, area.W), Y: rng.Range(0, area.H)}
+	}
+	return pts
+}
+
+// GridPositions places n nodes on a jittered square lattice covering area;
+// jitter is the fraction of a cell by which each node is perturbed. Used by
+// the static sensor-field example (sensors deployed in a rough grid).
+func GridPositions(n int, area geom.Rect, jitter float64, rng *xrand.Rand) []geom.Point {
+	pts := make([]geom.Point, 0, n)
+	// Choose a cols x rows lattice with cols*rows >= n, as square as possible.
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	rows := (n + cols - 1) / cols
+	dx := area.W / float64(cols)
+	dy := area.H / float64(rows)
+	for i := 0; i < n; i++ {
+		cx := float64(i%cols)*dx + dx/2
+		cy := float64(i/cols)*dy + dy/2
+		p := geom.Point{
+			X: cx + rng.Range(-jitter, jitter)*dx,
+			Y: cy + rng.Range(-jitter, jitter)*dy,
+		}
+		pts = append(pts, area.Clamp(p))
+	}
+	return pts
+}
+
+// ClusteredPositions places n nodes around k uniformly placed cluster
+// centers with Gaussian spread sigma, clamped to the area. Models hotspot
+// deployments (units concentrated around objectives).
+func ClusteredPositions(n, k int, sigma float64, area geom.Rect, rng *xrand.Rand) []geom.Point {
+	if k < 1 {
+		panic("topology: need at least one cluster")
+	}
+	centers := UniformPositions(k, area, rng)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := centers[rng.Intn(k)]
+		pts[i] = area.Clamp(geom.Point{
+			X: c.X + rng.NormFloat64()*sigma,
+			Y: c.Y + rng.NormFloat64()*sigma,
+		})
+	}
+	return pts
+}

@@ -1,0 +1,373 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"card/internal/geom"
+	"card/internal/xrand"
+)
+
+// lineGraph builds n nodes spaced 10 m apart on a line with 15 m range, so
+// each node links only to immediate neighbors: a path graph.
+func lineGraph(n int) *Graph {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i) * 10, Y: 0}
+	}
+	return Build(pts, geom.Rect{W: float64(n) * 10, H: 10}, 15)
+}
+
+func TestBuildPathGraph(t *testing.T) {
+	g := lineGraph(5)
+	if g.N() != 5 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.Links() != 4 {
+		t.Fatalf("Links = %d, want 4", g.Links())
+	}
+	if d := g.Degree(0); d != 1 {
+		t.Errorf("Degree(0) = %d, want 1", d)
+	}
+	if d := g.Degree(2); d != 2 {
+		t.Errorf("Degree(2) = %d, want 2", d)
+	}
+	if !g.Adjacent(1, 2) || g.Adjacent(0, 2) {
+		t.Error("Adjacent wrong on path graph")
+	}
+	if g.Adjacent(2, 2) {
+		t.Error("node adjacent to itself")
+	}
+}
+
+func TestBuildPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Build with range 0 did not panic")
+		}
+	}()
+	Build(nil, geom.Rect{W: 10, H: 10}, 0)
+}
+
+func TestAdjacencySymmetric(t *testing.T) {
+	rng := xrand.New(3)
+	g := Build(UniformPositions(200, geom.Rect{W: 500, H: 500}, rng), geom.Rect{W: 500, H: 500}, 50)
+	for u := NodeID(0); int(u) < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if !g.Adjacent(v, u) {
+				t.Fatalf("asymmetric adjacency %d->%d", u, v)
+			}
+		}
+	}
+}
+
+func TestBuildMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(11)
+	area := geom.Rect{W: 300, H: 300}
+	pts := UniformPositions(120, area, rng)
+	g := Build(pts, area, 40)
+	links := 0
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			within := pts[i].Dist(pts[j]) <= 40
+			if within {
+				links++
+			}
+			if g.Adjacent(NodeID(i), NodeID(j)) != within {
+				t.Fatalf("adjacency(%d,%d) = %v, brute force %v", i, j, !within, within)
+			}
+		}
+	}
+	if g.Links() != links {
+		t.Fatalf("Links = %d, brute force %d", g.Links(), links)
+	}
+}
+
+func TestBFSDistancesOnPath(t *testing.T) {
+	g := lineGraph(6)
+	res := g.BFS(0)
+	for v := 0; v < 6; v++ {
+		if int(res.Dist[v]) != v {
+			t.Errorf("Dist[%d] = %d, want %d", v, res.Dist[v], v)
+		}
+	}
+	path := res.PathTo(4)
+	if len(path) != 5 || path[0] != 0 || path[4] != 4 {
+		t.Errorf("PathTo(4) = %v", path)
+	}
+	// Path must walk adjacent nodes.
+	for i := 0; i+1 < len(path); i++ {
+		if !g.Adjacent(path[i], path[i+1]) {
+			t.Errorf("path step %d->%d not adjacent", path[i], path[i+1])
+		}
+	}
+}
+
+func TestBoundedBFS(t *testing.T) {
+	g := lineGraph(10)
+	res := g.BoundedBFS(0, 3)
+	for v := 0; v < 10; v++ {
+		want := int32(v)
+		if v > 3 {
+			want = -1
+		}
+		if res.Dist[v] != want {
+			t.Errorf("BoundedBFS Dist[%d] = %d, want %d", v, res.Dist[v], want)
+		}
+	}
+	if len(res.Visited) != 4 {
+		t.Errorf("Visited = %v, want 4 nodes", res.Visited)
+	}
+}
+
+func TestBoundedBFSZeroHops(t *testing.T) {
+	g := lineGraph(3)
+	res := g.BoundedBFS(1, 0)
+	if len(res.Visited) != 1 || res.Visited[0] != 1 {
+		t.Errorf("0-hop BFS visited %v", res.Visited)
+	}
+}
+
+func TestPathToUnreachable(t *testing.T) {
+	// Two isolated nodes.
+	g := Build([]geom.Point{{X: 0, Y: 0}, {X: 100, Y: 100}}, geom.Rect{W: 100, H: 100}, 10)
+	res := g.BFS(0)
+	if res.PathTo(1) != nil {
+		t.Error("PathTo(unreachable) != nil")
+	}
+}
+
+func TestVisitedSortedByDistance(t *testing.T) {
+	rng := xrand.New(5)
+	area := geom.Rect{W: 400, H: 400}
+	g := Build(UniformPositions(150, area, rng), area, 60)
+	res := g.BFS(0)
+	for i := 1; i < len(res.Visited); i++ {
+		if res.Dist[res.Visited[i]] < res.Dist[res.Visited[i-1]] {
+			t.Fatal("Visited not in non-decreasing distance order")
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Two separated pairs plus an isolated node.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 100, Y: 0}, {X: 105, Y: 0}, {X: 200, Y: 200}}
+	g := Build(pts, geom.Rect{W: 300, H: 300}, 10)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	if len(comps[0]) != 2 || len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Errorf("component sizes wrong: %v", comps)
+	}
+	if lc := g.LargestComponent(); len(lc) != 2 {
+		t.Errorf("LargestComponent size %d", len(lc))
+	}
+}
+
+func TestCensusOnPath(t *testing.T) {
+	g := lineGraph(5)
+	c := g.ComputeCensus()
+	if c.Links != 4 {
+		t.Errorf("Links = %d", c.Links)
+	}
+	if c.Diameter != 4 {
+		t.Errorf("Diameter = %d, want 4", c.Diameter)
+	}
+	// Path P5: mean distance over ordered reachable pairs = 2.
+	if !almost(c.AvgHops, 2, 1e-12) {
+		t.Errorf("AvgHops = %v, want 2", c.AvgHops)
+	}
+	if c.LargestComponentFrac != 1 {
+		t.Errorf("LCC = %v", c.LargestComponentFrac)
+	}
+	if !almost(c.MeanDegree, 8.0/5.0, 1e-12) {
+		t.Errorf("MeanDegree = %v", c.MeanDegree)
+	}
+}
+
+func TestCensusTriangleClustering(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 2.5, Y: 4}}
+	g := Build(pts, geom.Rect{W: 10, H: 10}, 6)
+	c := g.ComputeCensus()
+	if c.MeanClustering != 1 {
+		t.Errorf("triangle clustering = %v, want 1", c.MeanClustering)
+	}
+	if c.Diameter != 1 {
+		t.Errorf("triangle diameter = %d", c.Diameter)
+	}
+}
+
+func TestCensusEmptyAndSingleton(t *testing.T) {
+	g := Build(nil, geom.Rect{W: 10, H: 10}, 5)
+	c := g.ComputeCensus()
+	if c.N != 0 || c.Links != 0 || c.Diameter != 0 {
+		t.Errorf("empty census = %+v", c)
+	}
+	g1 := Build([]geom.Point{{X: 1, Y: 1}}, geom.Rect{W: 10, H: 10}, 5)
+	c1 := g1.ComputeCensus()
+	if c1.N != 1 || c1.AvgHops != 0 || c1.LargestComponentFrac != 1 {
+		t.Errorf("singleton census = %+v", c1)
+	}
+}
+
+func TestUniformPositionsInArea(t *testing.T) {
+	rng := xrand.New(9)
+	area := geom.Rect{W: 710, H: 710}
+	for _, p := range UniformPositions(500, area, rng) {
+		if !area.Contains(p) {
+			t.Fatalf("position %v outside area", p)
+		}
+	}
+}
+
+func TestGridPositions(t *testing.T) {
+	rng := xrand.New(10)
+	area := geom.Rect{W: 100, H: 100}
+	pts := GridPositions(25, area, 0, rng)
+	if len(pts) != 25 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Without jitter a 5x5 lattice has 20 m spacing starting at 10 m.
+	if pts[0] != (geom.Point{X: 10, Y: 10}) {
+		t.Errorf("pts[0] = %v", pts[0])
+	}
+	if pts[24] != (geom.Point{X: 90, Y: 90}) {
+		t.Errorf("pts[24] = %v", pts[24])
+	}
+	for _, p := range GridPositions(30, area, 0.4, rng) {
+		if !area.Contains(p) {
+			t.Fatalf("jittered grid position %v outside area", p)
+		}
+	}
+}
+
+func TestClusteredPositions(t *testing.T) {
+	rng := xrand.New(12)
+	area := geom.Rect{W: 500, H: 500}
+	pts := ClusteredPositions(200, 4, 30, area, rng)
+	if len(pts) != 200 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !area.Contains(p) {
+			t.Fatalf("clustered position %v outside area", p)
+		}
+	}
+}
+
+func TestClusteredPanicsOnZeroClusters(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 did not panic")
+		}
+	}()
+	ClusteredPositions(10, 0, 1, geom.Rect{W: 10, H: 10}, xrand.New(1))
+}
+
+func TestQuickBFSTriangleInequalityOverEdges(t *testing.T) {
+	// For any edge (u,v): |dist(s,u) - dist(s,v)| <= 1.
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		area := geom.Rect{W: 300, H: 300}
+		n := 30 + rng.Intn(80)
+		g := Build(UniformPositions(n, area, rng), area, 60)
+		src := NodeID(rng.Intn(n))
+		res := g.BFS(src)
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(NodeID(u)) {
+				du, dv := res.Dist[u], res.Dist[v]
+				if (du < 0) != (dv < 0) {
+					return false // adjacent nodes must be co-reachable
+				}
+				if du >= 0 && (du-dv > 1 || dv-du > 1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBoundedBFSPrefixOfFull(t *testing.T) {
+	// A bounded BFS must agree with the full BFS on all nodes within bound.
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		area := geom.Rect{W: 300, H: 300}
+		n := 30 + rng.Intn(80)
+		g := Build(UniformPositions(n, area, rng), area, 50)
+		src := NodeID(rng.Intn(n))
+		r := 1 + rng.Intn(5)
+		full := g.BFS(src)
+		bounded := g.BoundedBFS(src, r)
+		for v := 0; v < n; v++ {
+			if full.Dist[v] >= 0 && int(full.Dist[v]) <= r {
+				if bounded.Dist[v] != full.Dist[v] {
+					return false
+				}
+			} else if bounded.Dist[v] != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComponentsPartitionNodes(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		area := geom.Rect{W: 500, H: 500}
+		n := 20 + rng.Intn(100)
+		g := Build(UniformPositions(n, area, rng), area, 40)
+		seen := make(map[NodeID]bool)
+		total := 0
+		for _, comp := range g.Components() {
+			for _, v := range comp {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+			total += len(comp)
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func almost(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+func BenchmarkBuild500(b *testing.B) {
+	rng := xrand.New(1)
+	area := geom.Rect{W: 710, H: 710}
+	pts := UniformPositions(500, area, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pts, area, 50)
+	}
+}
+
+func BenchmarkCensus500(b *testing.B) {
+	rng := xrand.New(1)
+	area := geom.Rect{W: 710, H: 710}
+	g := Build(UniformPositions(500, area, rng), area, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ComputeCensus()
+	}
+}

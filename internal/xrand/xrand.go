@@ -1,0 +1,184 @@
+// Package xrand provides a small, deterministic pseudo-random number
+// generator suite for the simulator.
+//
+// Reproducibility is a hard requirement for the experiment harness: every
+// figure in the paper is regenerated from a (scenario, seed) pair, and runs
+// must be bit-identical across machines and across Go releases. The package
+// therefore implements its own generators instead of relying on math/rand's
+// unspecified internals:
+//
+//   - SplitMix64 — used to expand a single user seed into independent
+//     sub-stream seeds (one per node, per mobility model, per protocol).
+//   - xoshiro256++ — the workhorse generator behind Rand.
+//
+// Both are public-domain algorithms by Blackman & Vigna.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used both to seed xoshiro and to derive independent streams.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a deterministic generator. It is NOT safe for concurrent use; give
+// each goroutine (each simulation run) its own Rand, derived via Derive.
+type Rand struct {
+	s       [4]uint64
+	lineage uint64 // the construction seed; immutable, used by Derive
+}
+
+// New returns a generator seeded from seed. Distinct seeds yield
+// uncorrelated streams (seed expansion via SplitMix64).
+func New(seed uint64) *Rand {
+	r := &Rand{lineage: seed}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not start at the all-zero state; SplitMix64 of any seed
+	// cannot produce four zero words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Derive returns a new generator whose stream is a deterministic function of
+// r's construction seed and the given stream id, independent of how much
+// output has been drawn from r. Use it to give every node / protocol / model
+// its own stream so that adding a consumer does not perturb the others.
+func (r *Rand) Derive(stream uint64) *Rand {
+	sm := r.lineage
+	base := splitMix64(&sm)
+	return New(base ^ (stream+1)*0xd1342543de82ef95)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits (xoshiro256++).
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[0]+r.s[3], 23) + r.s[0]
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Int63 returns a non-negative random int64.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	// Lemire's multiply-shift method with rejection for exact uniformity.
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), n)
+		if lo >= n || lo >= -n%n {
+			// -n % n == (2^64 - n) % n: the threshold below which results
+			// are biased. The first comparison short-circuits the common
+			// case cheaply.
+			return hi
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Range returns a uniform float64 in [lo, hi). It panics if hi < lo.
+func (r *Rand) Range(lo, hi float64) float64 {
+	if hi < lo {
+		panic("xrand: Range with hi < lo")
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1.
+func (r *Rand) ExpFloat64() float64 {
+	// Inverse CDF; Float64 returns [0,1) so 1-u ∈ (0,1] and Log is finite.
+	return -math.Log(1 - r.Float64())
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles s in place (Fisher–Yates).
+func (r *Rand) ShuffleInts(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Shuffle shuffles n elements using the provided swap function.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Pick returns a uniformly random element index of a slice of length n,
+// or -1 if n == 0.
+func (r *Rand) Pick(n int) int {
+	if n == 0 {
+		return -1
+	}
+	return r.Intn(n)
+}

@@ -1,0 +1,300 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a degenerate stream")
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Derive(0)
+	b := root.Derive(1)
+	// Streams must differ from each other...
+	if a.Uint64() == b.Uint64() {
+		t.Error("derived streams 0 and 1 coincide on first draw")
+	}
+	// ...and must not depend on how much the parent has been consumed.
+	root2 := New(7)
+	root2.Uint64()
+	root2.Uint64()
+	c := root2.Derive(0)
+	d := New(7).Derive(0)
+	for i := 0; i < 10; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("Derive depends on parent consumption; must be stable")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(99)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-square-ish sanity check over 10 buckets.
+	r := New(4242)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %f by more than 5 sigma", b, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(6)
+	sum := 0.0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / draws
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(3, 9)
+		if v < 3 || v >= 9 {
+			t.Fatalf("Range(3,9) = %v out of range", v)
+		}
+	}
+	if got := r.Range(4, 4); got != 4 {
+		t.Errorf("Range(4,4) = %v, want 4", got)
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(10)
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	hits := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / draws
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) empirical rate %v", p)
+	}
+}
+
+func TestExpFloat64(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := r.ExpFloat64()
+		if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("ExpFloat64 = %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-1) > 0.02 {
+		t.Errorf("Exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestNormFloat64(t *testing.T) {
+	r := New(12)
+	sum, sumSq := 0.0, 0.0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermZero(t *testing.T) {
+	if p := New(1).Perm(0); len(p) != 0 {
+		t.Errorf("Perm(0) = %v, want empty", p)
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(14)
+	s := []int{1, 1, 2, 3, 5, 8, 13}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.ShuffleInts(s)
+	sum2 := 0
+	for _, v := range s {
+		sum2 += v
+	}
+	if sum != sum2 || len(s) != 7 {
+		t.Errorf("shuffle changed contents: %v", s)
+	}
+}
+
+func TestPickEmpty(t *testing.T) {
+	if got := New(1).Pick(0); got != -1 {
+		t.Errorf("Pick(0) = %d, want -1", got)
+	}
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		r := New(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeriveDeterministic(t *testing.T) {
+	f := func(seed, stream uint64) bool {
+		a := New(seed).Derive(stream)
+		b := New(seed).Derive(stream)
+		for i := 0; i < 5; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(77)
+	for _, n := range []uint64{1, 2, 3, 1 << 40, math.MaxUint64} {
+		for i := 0; i < 100; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nSmallUniform(t *testing.T) {
+	// n=3 exercises the rejection path; verify near-uniform split.
+	r := New(78)
+	counts := [3]int{}
+	const draws = 90000
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(3)]++
+	}
+	for b, c := range counts {
+		if math.Abs(float64(c)-draws/3.0) > 5*math.Sqrt(draws/3.0) {
+			t.Errorf("Uint64n(3) bucket %d count %d far from uniform", b, c)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Intn(1000)
+	}
+}
