@@ -1,17 +1,9 @@
 package card
 
 import (
-	"fmt"
-
-	"card/internal/bordercast"
 	proto "card/internal/card"
-	"card/internal/flood"
-	"card/internal/geom"
-	"card/internal/manet"
-	"card/internal/mobility"
-	"card/internal/neighborhood"
+	"card/internal/engine"
 	"card/internal/topology"
-	"card/internal/xrand"
 )
 
 // NodeID identifies a node; ids are dense in [0, Nodes).
@@ -44,266 +36,174 @@ type Contact = proto.Contact
 // Stats aggregates protocol-level events (selections, losses, recoveries).
 type Stats = proto.Stats
 
-// MobilityKind selects the node-movement model of a simulation.
-type MobilityKind int
+// NetworkConfig describes the simulated network; see the engine type for
+// field docs.
+type NetworkConfig = engine.NetworkConfig
 
+// MobilityKind selects the node-movement model of a simulation.
+type MobilityKind = engine.MobilityKind
+
+// Mobility models.
 const (
-	// Static pins nodes at their initial uniform placement (sensor
-	// networks, the paper's motivating static case).
-	Static MobilityKind = iota
-	// RandomWaypoint is the paper's mobility model: uniform waypoints,
-	// uniform speed in [MinSpeed, MaxSpeed], optional pauses.
-	RandomWaypoint
+	// Static pins nodes at their initial uniform placement.
+	Static = engine.Static
+	// RandomWaypoint is the paper's mobility model.
+	RandomWaypoint = engine.RandomWaypoint
 )
 
 // ProactiveKind selects the neighborhood substrate implementation.
-type ProactiveKind int
+type ProactiveKind = engine.ProactiveKind
 
+// Proactive substrates.
 const (
-	// OracleView (default) uses the converged R-hop view recomputed from
-	// each topology snapshot — the paper's modeling choice, whose metrics
-	// exclude proactive-update traffic.
-	OracleView ProactiveKind = iota
-	// DSDVProtocol runs the real scoped destination-sequenced
-	// distance-vector protocol: periodic dumps, triggered updates, soft
-	// state. Neighborhood views then converge with protocol dynamics and
-	// proactive broadcasts appear in MessageCounts.Proactive.
-	DSDVProtocol
+	// OracleView (default) recomputes converged R-hop views per snapshot.
+	OracleView = engine.OracleView
+	// DSDVProtocol runs the real scoped distance-vector protocol.
+	DSDVProtocol = engine.DSDVProtocol
 )
 
-// NetworkConfig describes the simulated network.
-type NetworkConfig struct {
-	// Nodes is the network size (>= 2).
-	Nodes int
-	// Width, Height are the deployment area in meters.
-	Width, Height float64
-	// TxRange is the radio range in meters (> 0).
-	TxRange float64
-	// Mobility selects Static (default) or RandomWaypoint.
-	Mobility MobilityKind
-	// MinSpeed, MaxSpeed bound RWP speeds in m/s (defaults 1 and 19).
-	MinSpeed, MaxSpeed float64
-	// Pause is the RWP dwell time at waypoints in seconds.
-	Pause float64
-	// Proactive selects the neighborhood substrate (default OracleView).
-	Proactive ProactiveKind
-	// DSDVPeriod is the full-dump interval for DSDVProtocol in seconds
-	// (default 1).
-	DSDVPeriod float64
-	// Seed makes the run reproducible; equal seeds give identical runs.
-	Seed uint64
-}
+// TopologyKind selects the connectivity-snapshot strategy.
+type TopologyKind = engine.TopologyKind
 
-func (nc *NetworkConfig) fill() error {
-	if nc.Nodes < 2 {
-		return fmt.Errorf("card: need at least 2 nodes, got %d", nc.Nodes)
+// Topology strategies.
+const (
+	// SpatialGrid (default) is the incremental spatial-hash builder:
+	// refreshes cost O(moved·degree).
+	SpatialGrid = engine.SpatialGrid
+	// FullRebuild rebuilds the grid-indexed graph every refresh.
+	FullRebuild = engine.FullRebuild
+	// NaiveRebuild is the O(N²) all-pairs reference path, kept for
+	// equivalence tests and benchmarks.
+	NaiveRebuild = engine.NaiveRebuild
+)
+
+// Pair is one (source, destination) query assignment for BatchQuery.
+type Pair = engine.Pair
+
+// MessageCounts reports cumulative control-message tallies by purpose.
+type MessageCounts = engine.MessageCounts
+
+// Preset is a named ready-to-run workload; see Presets.
+type Preset = engine.Preset
+
+// Presets lists the built-in workload presets (dense-sensor-field,
+// sparse-rescue, citywide-rwp-1k, citywide-rwp-5k, ...), sorted by name.
+func Presets() []Preset { return engine.Presets() }
+
+// LookupPreset returns the preset registered under name.
+func LookupPreset(name string) (Preset, error) { return engine.LookupPreset(name) }
+
+// NewPresetSimulation builds a simulation for a named preset with the
+// given seed.
+func NewPresetSimulation(name string, seed uint64) (*Simulation, error) {
+	p, err := engine.LookupPreset(name)
+	if err != nil {
+		return nil, err
 	}
-	if nc.Width <= 0 || nc.Height <= 0 {
-		return fmt.Errorf("card: non-positive area %gx%g", nc.Width, nc.Height)
+	e, err := p.New(seed)
+	if err != nil {
+		return nil, err
 	}
-	if nc.TxRange <= 0 {
-		return fmt.Errorf("card: non-positive TxRange %g", nc.TxRange)
-	}
-	if nc.MinSpeed == 0 {
-		nc.MinSpeed = 1
-	}
-	if nc.MaxSpeed == 0 {
-		nc.MaxSpeed = 19
-	}
-	return nil
+	return &Simulation{e: e}, nil
 }
 
 // Simulation binds a mobile network, its proactive neighborhood substrate
 // and a CARD protocol instance, and offers the flooding and bordercasting
-// baselines on the same topology for comparison.
+// baselines on the same topology for comparison. It is a thin facade over
+// [engine.Engine], which owns the time-stepping loop and the batch-query
+// fan-out.
 //
-// A Simulation is single-goroutine; run independent simulations on
-// separate goroutines for parameter sweeps.
+// Mutating calls (Advance, SelectContacts, Maintain) are single-goroutine;
+// run independent simulations on separate goroutines for parameter sweeps.
+// BatchQuery parallelizes internally.
 type Simulation struct {
-	net  *manet.Network
-	prot *proto.Protocol
-	nb   neighborhood.Provider
-	dsdv *neighborhood.DSDV // non-nil iff Proactive == DSDVProtocol
-	cfg  Config
-	now  float64
+	e *engine.Engine
 }
 
 // NewSimulation builds a network per nc and a CARD instance per cfg.
 func NewSimulation(nc NetworkConfig, cfg Config) (*Simulation, error) {
-	if err := nc.fill(); err != nil {
-		return nil, err
-	}
-	area := geom.Rect{W: nc.Width, H: nc.Height}
-	rng := xrand.New(nc.Seed)
-	var model mobility.Model
-	switch nc.Mobility {
-	case Static:
-		model = mobility.NewStatic(topology.UniformPositions(nc.Nodes, area, rng.Derive(0)), area)
-	case RandomWaypoint:
-		m, err := mobility.NewRandomWaypoint(nc.Nodes, area, mobility.RWPConfig{
-			MinSpeed: nc.MinSpeed, MaxSpeed: nc.MaxSpeed, Pause: nc.Pause,
-		}, rng.Derive(0))
-		if err != nil {
-			return nil, err
-		}
-		model = m
-	default:
-		return nil, fmt.Errorf("card: unknown mobility kind %d", int(nc.Mobility))
-	}
-	net := manet.New(model, nc.TxRange, rng.Derive(1))
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	var nb neighborhood.Provider
-	var dsdv *neighborhood.DSDV
-	switch nc.Proactive {
-	case OracleView:
-		nb = neighborhood.NewOracle(net, cfg.R)
-	case DSDVProtocol:
-		dcfg := neighborhood.DefaultDSDV()
-		if nc.DSDVPeriod > 0 {
-			dcfg.Period = nc.DSDVPeriod
-			dcfg.ExpireAfter = 3 * nc.DSDVPeriod
-		}
-		d, err := neighborhood.NewDSDV(net, cfg.R, dcfg)
-		if err != nil {
-			return nil, err
-		}
-		// Converge the initial tables so t=0 selection sees a warm
-		// substrate, exactly as a deployment would after R dump periods.
-		d.Converge(0, 4*cfg.R)
-		nb = d
-		dsdv = d
-	default:
-		return nil, fmt.Errorf("card: unknown proactive kind %d", int(nc.Proactive))
-	}
-	p, err := proto.New(net, nb, cfg, rng.Derive(2))
+	e, err := engine.New(nc, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{net: net, prot: p, nb: nb, dsdv: dsdv, cfg: p.Config()}, nil
+	return &Simulation{e: e}, nil
 }
 
+// Engine exposes the underlying engine for advanced use (custom scheduled
+// events, direct network access).
+func (s *Simulation) Engine() *engine.Engine { return s.e }
+
 // Nodes returns the network size.
-func (s *Simulation) Nodes() int { return s.net.N() }
+func (s *Simulation) Nodes() int { return s.e.Nodes() }
 
 // Now returns the current simulation time in seconds.
-func (s *Simulation) Now() float64 { return s.now }
+func (s *Simulation) Now() float64 { return s.e.Now() }
 
 // Config returns the protocol configuration with defaults filled.
-func (s *Simulation) Config() Config { return s.cfg }
+func (s *Simulation) Config() Config { return s.e.Config() }
 
 // Protocol exposes the underlying CARD protocol instance for advanced use
 // (per-node tables, raw reachability sets).
-func (s *Simulation) Protocol() *proto.Protocol { return s.prot }
+func (s *Simulation) Protocol() *proto.Protocol { return s.e.Protocol() }
 
 // Advance moves simulated time forward by dt seconds: node positions and
 // the connectivity snapshot are refreshed, one maintenance round runs for
 // every elapsed ValidatePeriod boundary, and — under DSDVProtocol — the
 // proactive substrate detects link breaks and issues its periodic dumps.
-func (s *Simulation) Advance(dt float64) {
-	if dt <= 0 {
-		return
-	}
-	target := s.now + dt
-	period := s.cfg.ValidatePeriod
-	for {
-		next := nextBoundary(s.now, period)
-		if next > target {
-			break
-		}
-		s.net.RefreshAt(next)
-		if s.dsdv != nil {
-			s.dsdv.DetectBreaks(next)
-			s.dsdv.Round(next)
-		}
-		s.prot.MaintainAll(next)
-		s.now = next
-	}
-	if target > s.now {
-		s.net.RefreshAt(target)
-		if s.dsdv != nil {
-			s.dsdv.DetectBreaks(target)
-		}
-		s.now = target
-	}
-}
-
-func nextBoundary(now, period float64) float64 {
-	k := int(now/period) + 1
-	return float64(k) * period
-}
+// The schedule is drift-free: maintenance boundaries are indexed by an
+// integer round counter, so no boundary is skipped or fired twice no
+// matter how Advance calls are sliced.
+func (s *Simulation) Advance(dt float64) { s.e.Advance(dt) }
 
 // SelectContacts runs initial contact selection for every node.
-func (s *Simulation) SelectContacts() int { return s.prot.SelectAll(s.now) }
+func (s *Simulation) SelectContacts() int { return s.e.SelectContacts() }
 
 // Maintain forces one maintenance round for every node now.
-func (s *Simulation) Maintain() { s.prot.MaintainAll(s.now) }
+func (s *Simulation) Maintain() { s.e.Maintain() }
 
 // Query runs a CARD destination search from src for target.
 func (s *Simulation) Query(src, target NodeID) QueryResult {
-	return s.prot.Query(src, target)
+	return s.e.Query(src, target)
+}
+
+// BatchQuery runs one CARD destination search per pair, fanned across
+// worker goroutines, and returns results indexed like pairs. Results and
+// message accounting are identical to a sequential Query loop over the
+// same pairs (each query is a pure read of protocol state), so equal seeds
+// give equal results at any GOMAXPROCS.
+func (s *Simulation) BatchQuery(pairs []Pair) []QueryResult {
+	return s.e.BatchQuery(pairs)
 }
 
 // Contacts returns node u's current contact table entries.
-func (s *Simulation) Contacts(u NodeID) []*Contact { return s.prot.Table(u).Contacts() }
+func (s *Simulation) Contacts(u NodeID) []*Contact { return s.e.Protocol().Table(u).Contacts() }
 
 // Reachability returns the percentage of the network node u can reach with
 // a depth-D contact search.
 func (s *Simulation) Reachability(u NodeID, depth int) float64 {
-	return s.prot.Reachability(u, depth)
+	return s.e.Reachability(u, depth)
 }
 
 // MeanReachability averages Reachability over all nodes.
 func (s *Simulation) MeanReachability(depth int) float64 {
-	return s.prot.MeanReachability(depth)
+	return s.e.MeanReachability(depth)
 }
 
 // Stats returns protocol-level statistics.
-func (s *Simulation) Stats() Stats { return s.prot.Stats() }
-
-// MessageCounts returns the cumulative control-message tallies by purpose.
-type MessageCounts struct {
-	Selection    int64 // CSQ forward + reply hops
-	Backtrack    int64 // CSQ backtracking hops
-	Validation   int64 // contact path-validation hops
-	Recovery     int64 // local-recovery splice hops
-	Query        int64 // discovery query hops (CARD, flooding, bordercast)
-	Reply        int64 // success-reply hops
-	Proactive    int64 // neighborhood protocol broadcasts (when DSDV runs)
-	TotalPerNode float64
-}
+func (s *Simulation) Stats() Stats { return s.e.Stats() }
 
 // Messages returns the simulation's control-message accounting.
-func (s *Simulation) Messages() MessageCounts {
-	k := &s.net.Counters
-	return MessageCounts{
-		Selection:    k.Get(manet.CatCSQ),
-		Backtrack:    k.Get(manet.CatBacktrack),
-		Validation:   k.Get(manet.CatValidate),
-		Recovery:     k.Get(manet.CatRecovery),
-		Query:        k.Get(manet.CatQuery),
-		Reply:        k.Get(manet.CatReply),
-		Proactive:    k.Get(manet.CatDSDV),
-		TotalPerNode: float64(k.Total()) / float64(s.net.N()),
-	}
-}
+func (s *Simulation) Messages() MessageCounts { return s.e.Messages() }
 
 // FloodQuery runs the flooding baseline on the current topology.
 func (s *Simulation) FloodQuery(src, target NodeID) (found bool, messages int64) {
-	r := flood.Query(s.net, src, target, true)
-	return r.Found, r.Messages
+	return s.e.FloodQuery(src, target)
 }
 
 // BordercastQuery runs the ZRP bordercasting baseline (zone radius = R,
 // query detection QD2) on the current topology.
 func (s *Simulation) BordercastQuery(src, target NodeID) (found bool, messages int64, err error) {
-	bc, err := bordercast.New(s.net, s.nb, bordercast.Config{Zone: s.cfg.R, QD: bordercast.QD2})
-	if err != nil {
-		return false, 0, err
-	}
-	r := bc.Query(src, target)
-	return r.Found, r.Messages, nil
+	return s.e.BordercastQuery(src, target)
 }
 
 // Census summarizes the current topology (the paper's Table 1 metrics).
@@ -318,7 +218,7 @@ type Census struct {
 
 // TopologyCensus computes connectivity statistics of the current snapshot.
 func (s *Simulation) TopologyCensus() Census {
-	c := s.net.Graph().ComputeCensus()
+	c := s.e.Network().Graph().ComputeCensus()
 	return Census{
 		Links:          c.Links,
 		MeanDegree:     c.MeanDegree,
@@ -329,15 +229,19 @@ func (s *Simulation) TopologyCensus() Census {
 	}
 }
 
-// RandomPair draws a uniformly random (src, dst) pair from the largest
-// connected component — the standard query workload.
+// RandomPair draws a uniformly random pair of distinct nodes from the
+// largest connected component — the standard query workload. When the
+// component holds fewer than two nodes (an empty or fully partitioned
+// graph), both returns name the component's sole member (or 0), never an
+// out-of-range index; use RandomPairs or Engine().RandomPair when the
+// degenerate case must be detected.
 func (s *Simulation) RandomPair(seed uint64) (src, dst NodeID) {
-	comp := s.net.Graph().LargestComponent()
-	rng := xrand.New(seed)
-	src = comp[rng.Intn(len(comp))]
-	dst = comp[rng.Intn(len(comp))]
-	for dst == src && len(comp) > 1 {
-		dst = comp[rng.Intn(len(comp))]
-	}
-	return src, dst
+	p, _ := s.e.RandomPair(seed)
+	return p.Src, p.Dst
+}
+
+// RandomPairs draws up to k distinct-node pairs from the largest connected
+// component (fewer — possibly zero — when the component is degenerate).
+func (s *Simulation) RandomPairs(k int, seed uint64) []Pair {
+	return s.e.RandomPairs(k, seed)
 }

@@ -231,6 +231,73 @@ func TestDSDVSubstrateUnderMobility(t *testing.T) {
 	}
 }
 
+// TestScale1kTopologyEquivalence is the correctness half of the scaling
+// acceptance bar (the speed half lives in BenchmarkScale1k*): the 1000-node
+// random-waypoint scenario with 500 batched queries produces bit-identical
+// QueryResults and message accounting on the spatial-grid engine and on the
+// O(N²) rebuild path for equal seeds.
+func TestScale1kTopologyEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-node naive-topology run is slow")
+	}
+	grid := newScale1k(t, SpatialGrid)
+	naive := newScale1k(t, NaiveRebuild)
+	resG := runScale1k(t, grid, 30)
+	resN := runScale1k(t, naive, 30)
+	if len(resG) != len(resN) {
+		t.Fatalf("result counts differ: %d vs %d", len(resG), len(resN))
+	}
+	for i := range resG {
+		if resG[i] != resN[i] {
+			t.Fatalf("query %d differs: grid %+v, naive %+v", i, resG[i], resN[i])
+		}
+	}
+	if grid.Messages() != naive.Messages() {
+		t.Errorf("accounting differs:\n grid  %+v\n naive %+v", grid.Messages(), naive.Messages())
+	}
+}
+
+func TestBatchQueryFacade(t *testing.T) {
+	nc, cfg := staticCfg()
+	s := newSim(t, nc, cfg)
+	s.SelectContacts()
+	pairs := s.RandomPairs(100, 42)
+	if len(pairs) != 100 {
+		t.Fatalf("RandomPairs drew %d, want 100", len(pairs))
+	}
+	res := s.BatchQuery(pairs)
+	// Cross-check against sequential queries on an identical simulation.
+	s2 := newSim(t, nc, cfg)
+	s2.SelectContacts()
+	for i, p := range pairs {
+		if seq := s2.Query(p.Src, p.Dst); seq != res[i] {
+			t.Fatalf("pair %d: batch %+v != sequential %+v", i, res[i], seq)
+		}
+	}
+	if s.Messages() != s2.Messages() {
+		t.Errorf("batch accounting %+v != sequential %+v", s.Messages(), s2.Messages())
+	}
+}
+
+func TestPresetSimulation(t *testing.T) {
+	if len(Presets()) == 0 {
+		t.Fatal("no presets registered")
+	}
+	if _, err := NewPresetSimulation("no-such", 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if testing.Short() {
+		t.Skip("full-size preset build is slow")
+	}
+	s, err := NewPresetSimulation("sparse-rescue", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SelectContacts() == 0 {
+		t.Error("preset simulation selected no contacts")
+	}
+}
+
 func TestBadProactiveKindRejected(t *testing.T) {
 	nc, cfg := staticCfg()
 	nc.Proactive = ProactiveKind(9)

@@ -1,4 +1,5 @@
-// Command cardsim regenerates the paper's tables and figures.
+// Command cardsim regenerates the paper's tables and figures and runs the
+// engine's workload presets.
 //
 // Usage:
 //
@@ -7,6 +8,10 @@
 //	cardsim -exp ablations            # the design-choice ablations
 //	cardsim -list                     # available experiment ids
 //	cardsim -exp fig3 -seeds 5 -scale 0.5 -format csv
+//
+//	cardsim -presets                  # list workload presets
+//	cardsim -preset citywide-rwp-1k   # run one preset end to end
+//	cardsim -preset sparse-rescue -queries 1000 -horizon 30 -topology naive
 //
 // Experiment ids match the per-experiment index in DESIGN.md.
 package main
@@ -17,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"card/internal/engine"
 	"card/internal/experiments"
 )
 
@@ -28,6 +34,13 @@ func main() {
 		scale  = flag.Float64("scale", 1, "scenario scale in (0,1]; 1 = paper-size networks")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		timing = flag.Bool("time", false, "print wall-clock time per experiment")
+
+		presets  = flag.Bool("presets", false, "list workload presets and exit")
+		preset   = flag.String("preset", "", "run one workload preset end to end")
+		queries  = flag.Int("queries", 500, "batched queries per preset run")
+		horizon  = flag.Float64("horizon", -1, "simulated seconds before querying (-1 = preset default)")
+		seed     = flag.Uint64("seed", 1, "preset run seed")
+		topology = flag.String("topology", "grid", "topology path: grid (incremental), full, naive")
 	)
 	flag.Parse()
 
@@ -37,8 +50,21 @@ func main() {
 		}
 		return
 	}
+	if *presets {
+		for _, p := range engine.Presets() {
+			fmt.Printf("%-20s %s\n", p.Name, p.Description)
+		}
+		return
+	}
+	if *preset != "" {
+		if err := runPreset(*preset, *queries, *horizon, *seed, *topology); err != nil {
+			fmt.Fprintln(os.Stderr, "cardsim:", err)
+			os.Exit(2)
+		}
+		return
+	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "cardsim: -exp required (try -list)")
+		fmt.Fprintln(os.Stderr, "cardsim: -exp or -preset required (try -list / -presets)")
 		os.Exit(2)
 	}
 
@@ -78,3 +104,90 @@ func main() {
 		}
 	}
 }
+
+// runPreset builds the named preset, advances it over its horizon, fans a
+// query batch, and reports topology, reachability, traffic and wall-clock
+// numbers — the quickest way to feel a workload's scale.
+func runPreset(name string, queries int, horizon float64, seed uint64, topo string) error {
+	p, err := engine.LookupPreset(name)
+	if err != nil {
+		return err
+	}
+	switch topo {
+	case "grid", "":
+		p.Net.Topology = engine.SpatialGrid
+	case "full":
+		p.Net.Topology = engine.FullRebuild
+	case "naive":
+		p.Net.Topology = engine.NaiveRebuild
+	default:
+		return fmt.Errorf("unknown -topology %q (grid, full, naive)", topo)
+	}
+	if horizon < 0 {
+		horizon = p.Horizon
+	}
+	fmt.Printf("preset %s: %s\n", p.Name, p.Description)
+
+	start := time.Now()
+	e, err := p.New(seed)
+	if err != nil {
+		return err
+	}
+	build := time.Since(start)
+
+	start = time.Now()
+	e.SelectContacts()
+	sel := time.Since(start)
+
+	start = time.Now()
+	if horizon > 0 {
+		const step = 0.5
+		for e.Now() < horizon {
+			e.Advance(step)
+		}
+	}
+	adv := time.Since(start)
+
+	start = time.Now()
+	pairs := e.RandomPairs(queries, seed^0x9e3779b97f4a7c15)
+	res := e.BatchQuery(pairs)
+	q := time.Since(start)
+
+	found := 0
+	var msgs int64
+	for _, r := range res {
+		if r.Found {
+			found++
+		}
+		msgs += r.Messages
+	}
+	c := e.Network().Graph().ComputeCensus()
+	m := e.Messages()
+	fmt.Printf("topology: %d nodes, %d links, mean degree %.1f, %.0f%% in largest component\n",
+		e.Nodes(), c.Links, c.MeanDegree, 100*c.LargestComponentFrac)
+	fmt.Printf("after %ss simulated (%d maintenance rounds): reach(D=1) %.1f%%\n",
+		trimSeconds(e.Now()), e.Rounds(), e.MeanReachability(1))
+	fmt.Printf("queries: %d/%d found, %.1f msgs/query\n", found, len(res), avg(msgs, len(res)))
+	fmt.Printf("traffic/node: %.1f total (selection %d, validation %d, query %d)\n",
+		m.TotalPerNode, m.Selection, m.Validation, m.Query)
+	fmt.Printf("wall clock [%s topology]: build %v, select %v, advance %v, %d queries %v\n",
+		topoName(topo), build.Round(time.Millisecond), sel.Round(time.Millisecond),
+		adv.Round(time.Millisecond), len(res), q.Round(time.Millisecond))
+	return nil
+}
+
+func topoName(t string) string {
+	if t == "" {
+		return "grid"
+	}
+	return t
+}
+
+func avg(total int64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+func trimSeconds(s float64) string { return fmt.Sprintf("%g", s) }

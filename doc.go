@@ -10,11 +10,12 @@
 // of flooding.
 //
 // The package exposes a simulation facade over the full stack implemented
-// under internal/: unit-disk topologies, analytic mobility models, a
-// discrete-event engine, a scoped-DSDV proactive substrate, the CARD
-// protocol (PM/EM selection, validation with local recovery, multi-level
-// DSQ querying), and the flooding and ZRP-bordercasting baselines the
-// paper compares against.
+// under internal/: unit-disk topologies (with an incremental spatial-hash
+// builder for large mobile networks), analytic mobility models, a
+// discrete-event simulation engine, a scoped-DSDV proactive substrate, the
+// CARD protocol (PM/EM selection, validation with local recovery,
+// multi-level DSQ querying), and the flooding and ZRP-bordercasting
+// baselines the paper compares against.
 //
 // Quick start:
 //
@@ -25,6 +26,20 @@
 //	sim.SelectContacts()
 //	res := sim.Query(12, 451)
 //
+// Advance(dt) steps simulated time on a drift-free maintenance schedule
+// driven by the internal event engine. For bulk workloads, BatchQuery fans
+// read-only queries across CPU cores with results bit-identical to a
+// sequential loop:
+//
+//	sim.Advance(30)
+//	results := sim.BatchQuery(sim.RandomPairs(500, 7))
+//
+// Ready-made large-scale scenarios (dense sensor fields, sparse rescue
+// teams, citywide fleets at 1k-5k nodes) are available as presets:
+//
+//	sim, err := card.NewPresetSimulation("citywide-rwp-1k", 42)
+//
 // The experiment harness regenerating every table and figure of the paper
-// lives in cmd/cardsim; see DESIGN.md and EXPERIMENTS.md.
+// lives in cmd/cardsim; see DESIGN.md for the engine layering and the
+// per-experiment index.
 package card

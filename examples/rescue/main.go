@@ -48,15 +48,17 @@ func main() {
 		splices := st.Recoveries - prevSplices
 		prevLost, prevSplices = st.ContactsLost, st.Recoveries
 
-		found, queries := 0, 0
-		var msgs int64
+		var lookups []card.Pair
 		for i, role := range roles {
 			src, _ := sim.RandomPair(uint64(window*100 + i))
 			if src == role {
 				continue
 			}
-			res := sim.Query(src, role)
-			queries++
+			lookups = append(lookups, card.Pair{Src: src, Dst: role})
+		}
+		found, queries := 0, len(lookups)
+		var msgs int64
+		for _, res := range sim.BatchQuery(lookups) {
 			msgs += res.Messages
 			if res.Found {
 				found++

@@ -1,0 +1,3 @@
+module card
+
+go 1.24

@@ -101,9 +101,9 @@ type Result struct {
 
 // Query searches for target from src.
 func (p *Protocol) Query(src, target NodeID) Result {
-	before := p.net.Counters.Sum(manet.CatQuery, manet.CatReply)
+	before := p.net.Totals().Sum(manet.CatQuery, manet.CatReply)
 	res := p.query(src, target)
-	res.Messages = p.net.Counters.Sum(manet.CatQuery, manet.CatReply) - before
+	res.Messages = p.net.Totals().Sum(manet.CatQuery, manet.CatReply) - before
 	return res
 }
 

@@ -32,7 +32,7 @@ func TestMaintainStaticKeepsAllContacts(t *testing.T) {
 	if lost := p.Stats().ContactsLost; lost != 0 {
 		t.Errorf("static maintenance lost %d contacts", lost)
 	}
-	if got := net.Counters.Get(manet.CatValidate); got != wantHops {
+	if got := net.Totals().Get(manet.CatValidate); got != wantHops {
 		t.Errorf("validate messages = %d, want %d (sum of pre-round path hops)", got, wantHops)
 	}
 }
@@ -121,7 +121,7 @@ func TestLocalRecoverySplicesPath(t *testing.T) {
 	if p.Stats().Recoveries == 0 {
 		t.Error("recovery not recorded in stats")
 	}
-	if net.Counters.Get(manet.CatRecovery) == 0 {
+	if net.Totals().Get(manet.CatRecovery) == 0 {
 		t.Error("recovery hops not counted")
 	}
 }

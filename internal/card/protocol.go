@@ -76,10 +76,14 @@ type Protocol struct {
 	tables []*Table
 
 	// visited is the per-CSQ "this node has seen query q" marker, epoch
-	// stamped to avoid clearing between walks.
+	// stamped to avoid clearing between walks. DSQ queries use per-Querier
+	// scratch instead, so they never touch this.
 	visited    []uint64
 	visitGen   uint64
 	ineligible *bitset.Set // scratch for selection overlap predicate
+
+	// querier serves the serial Protocol.Query entry point.
+	querier *Querier
 
 	// Selection statistics beyond raw message counts.
 	stats Stats
@@ -126,6 +130,7 @@ func New(net *manet.Network, nb neighborhood.Provider, cfg Config, rng *xrand.Ra
 	for i := range p.tables {
 		p.tables[i] = &Table{owner: NodeID(i)}
 	}
+	p.querier = p.NewQuerier()
 	return p, nil
 }
 

@@ -29,7 +29,63 @@ type QueryResult struct {
 // Matching the paper's "one at a time" semantics, contacts are queried
 // sequentially with early termination on the first hit; an unanswered
 // depth-D sweep is followed by a fresh depth-(D+1) DSQ.
+//
+// Query is the serial entry point: it runs on the protocol's own scratch
+// and flushes message tallies to the network recorder immediately. For
+// concurrent fan-outs, create one [Querier] per worker instead.
 func (p *Protocol) Query(u, target NodeID) QueryResult {
+	res := p.querier.Query(u, target)
+	p.querier.Flush()
+	return res
+}
+
+// Querier executes CARD queries against a protocol snapshot without
+// touching any shared mutable state: visited markers and message tallies
+// live in the Querier itself. Between topology refreshes and maintenance
+// rounds, any number of Queriers may run concurrently over the same
+// Protocol (the engine's BatchQuery does exactly that — one Querier per
+// worker), provided neighborhood views are warmed first; see
+// neighborhood.Warmer.
+//
+// A Querier is single-goroutine; message tallies accumulate locally until
+// Flush hands them to the network recorder.
+type Querier struct {
+	p *Protocol
+
+	// visited is the per-DSQ "this contact has seen query q" marker, epoch
+	// stamped to avoid clearing between walks.
+	visited  []uint64
+	visitGen uint64
+
+	// Locally accumulated transmission tallies, flushed on demand.
+	pendingQuery int64
+	pendingReply int64
+}
+
+// NewQuerier creates an independent query executor over p.
+func (p *Protocol) NewQuerier() *Querier {
+	return &Querier{p: p, visited: make([]uint64, p.net.N())}
+}
+
+// Flush adds the locally accumulated query/reply tallies to the network
+// recorder and zeroes them. Call after a batch completes (or per query for
+// live accounting); with concurrent Queriers, flush serially after the
+// fan-out joins unless the recorder is concurrency-safe.
+func (q *Querier) Flush() {
+	if q.pendingQuery != 0 {
+		q.p.net.Record(manet.CatQuery, q.pendingQuery)
+		q.pendingQuery = 0
+	}
+	if q.pendingReply != 0 {
+		q.p.net.Record(manet.CatReply, q.pendingReply)
+		q.pendingReply = 0
+	}
+}
+
+// Query runs one CARD destination search from u for target. See
+// Protocol.Query for the mechanism.
+func (q *Querier) Query(u, target NodeID) QueryResult {
+	p := q.p
 	if u == target {
 		return QueryResult{Found: true, Depth: 0, PathHops: 0}
 	}
@@ -37,21 +93,21 @@ func (p *Protocol) Query(u, target NodeID) QueryResult {
 		// Resolved from the local neighborhood table: no control traffic.
 		return QueryResult{Found: true, Depth: 0, PathHops: p.nb.Dist(u, target)}
 	}
-	before := p.net.Counters.Sum(manet.CatQuery, manet.CatReply)
+	before := q.pendingQuery + q.pendingReply
 	for depth := 1; depth <= p.cfg.Depth; depth++ {
-		p.visitGen++
-		if hops, ok := p.dsq(u, target, depth); ok {
+		q.visitGen++
+		if hops, ok := q.dsq(u, target, depth); ok {
 			return QueryResult{
 				Found:    true,
 				Depth:    depth,
-				Messages: p.net.Counters.Sum(manet.CatQuery, manet.CatReply) - before,
+				Messages: q.pendingQuery + q.pendingReply - before,
 				PathHops: hops,
 			}
 		}
 	}
 	return QueryResult{
 		Found:    false,
-		Messages: p.net.Counters.Sum(manet.CatQuery, manet.CatReply) - before,
+		Messages: q.pendingQuery + q.pendingReply - before,
 		PathHops: -1,
 	}
 }
@@ -59,33 +115,47 @@ func (p *Protocol) Query(u, target NodeID) QueryResult {
 // dsq delivers a depth-limited DSQ to v's contacts, one at a time. It
 // returns the hop length of the found path from v to the target via the
 // contact chain. Each contact is visited at most once per escalation
-// attempt (p.visitGen), preventing the contact graph's cycles from
+// attempt (q.visitGen), preventing the contact graph's cycles from
 // amplifying traffic.
-func (p *Protocol) dsq(v, target NodeID, depth int) (int, bool) {
+func (q *Querier) dsq(v, target NodeID, depth int) (int, bool) {
+	p := q.p
 	for _, c := range p.tables[v].contacts {
-		if p.visited[c.ID] == p.visitGen {
+		if q.visited[c.ID] == q.visitGen {
 			continue
 		}
-		p.visited[c.ID] = p.visitGen
-		ok, _ := p.net.WalkPath(manet.CatQuery, c.Path)
-		if !ok {
+		q.visited[c.ID] = q.visitGen
+		if !q.walkPath(c.Path) {
 			continue // stored path broken under mobility: this DSQ dies
 		}
 		if depth == 1 {
 			if p.nb.Contains(c.ID, target) {
 				if !p.cfg.DisableReplyCounting {
-					p.net.SendHops(manet.CatReply, c.Hops())
+					q.pendingReply += int64(c.Hops())
 				}
 				return c.Hops() + p.nb.Dist(c.ID, target), true
 			}
 			continue
 		}
-		if sub, found := p.dsq(c.ID, target, depth-1); found {
+		if sub, found := q.dsq(c.ID, target, depth-1); found {
 			if !p.cfg.DisableReplyCounting {
-				p.net.SendHops(manet.CatReply, c.Hops())
+				q.pendingReply += int64(c.Hops())
 			}
 			return c.Hops() + sub, true
 		}
 	}
 	return 0, false
+}
+
+// walkPath mirrors manet.Network.WalkPath for CatQuery traffic but tallies
+// into the Querier's local counter: it counts one transmission per
+// existing hop and stops at the first broken link.
+func (q *Querier) walkPath(path []NodeID) bool {
+	g := q.p.net.Graph()
+	for i := 0; i+1 < len(path); i++ {
+		if !g.Adjacent(path[i], path[i+1]) {
+			return false
+		}
+		q.pendingQuery++
+	}
+	return true
 }

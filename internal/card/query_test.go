@@ -187,12 +187,12 @@ func TestQueryMessagesMatchCounters(t *testing.T) {
 	cfg := Config{R: 3, MaxContactDist: 16, NoC: 4, Method: EM, Depth: 2}
 	p := newProtocol(t, net, cfg, 58)
 	p.SelectAll(0)
-	before := net.Counters.Sum(manet.CatQuery, manet.CatReply)
+	before := net.Totals().Sum(manet.CatQuery, manet.CatReply)
 	var reported int64
 	for u := NodeID(0); u < 50; u++ {
 		reported += p.Query(u, NodeID(299-u)).Messages
 	}
-	delta := net.Counters.Sum(manet.CatQuery, manet.CatReply) - before
+	delta := net.Totals().Sum(manet.CatQuery, manet.CatReply) - before
 	if reported != delta {
 		t.Errorf("sum of QueryResult.Messages %d != counter delta %d", reported, delta)
 	}

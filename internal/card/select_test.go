@@ -147,7 +147,7 @@ func TestSelectDeterministic(t *testing.T) {
 				t.Fatalf("contact tables differ at %d", i)
 			}
 		}
-		if nets[0].Counters != nets[1].Counters {
+		if nets[0].Totals() != nets[1].Totals() {
 			t.Fatalf("message counters differ across identical runs")
 		}
 	}
@@ -158,7 +158,7 @@ func TestSelectCountsMessages(t *testing.T) {
 	cfg := Config{R: 3, MaxContactDist: 14, NoC: 4, Method: EM}
 	p := newProtocol(t, net, cfg, 11)
 	p.SelectAll(0)
-	if net.Counters.Get(manet.CatCSQ) == 0 {
+	if net.Totals().Get(manet.CatCSQ) == 0 {
 		t.Error("selection generated no CSQ messages")
 	}
 	st := p.Stats()
@@ -185,9 +185,9 @@ func TestPMBacktracksMoreThanEM(t *testing.T) {
 			p := newProtocol(t, net, cfg, 200+seed)
 			p.SelectAll(0)
 			if m == EM {
-				emBack += net.Counters.Get(manet.CatBacktrack)
+				emBack += net.Totals().Get(manet.CatBacktrack)
 			} else {
-				pmBack += net.Counters.Get(manet.CatBacktrack)
+				pmBack += net.Totals().Get(manet.CatBacktrack)
 			}
 		}
 	}

@@ -1,0 +1,415 @@
+// Package engine owns the simulation core: it binds a mobile network, its
+// proactive neighborhood substrate and a CARD protocol instance, drives
+// simulated time through the discrete-event scheduler, and fans read-only
+// batch queries across worker goroutines.
+//
+// The engine is the seam every scaling feature plugs into. Layering (see
+// DESIGN.md):
+//
+//	geom / xrand / bitset / par      primitives
+//	topology  mobility  eventq       structure, movement, time
+//	manet                            substrate: snapshots + accounting
+//	neighborhood  card  flood  ...   protocols
+//	engine                           time-stepping, batching, presets
+//	card (root)  experiments  cmd/   facades and harnesses
+//
+// # Time stepping
+//
+// Advance runs the maintenance schedule on an event queue. Maintenance
+// boundaries are indexed by an integer round counter — boundary k fires at
+// float64(k)·ValidatePeriod — so repeated advancing can neither skip nor
+// double-fire a round near floating-point representability edges (the
+// failure mode of the old int(now/period)+1 recurrence).
+//
+// # Batch queries
+//
+// BatchQuery exploits that CARD queries are pure reads of the protocol
+// state between rounds: each worker gets its own card.Querier (private
+// visited scratch and message tallies), neighborhood views are warmed
+// before the fan-out, and tallies are flushed serially after the join —
+// results and accounting are bit-identical to the sequential loop, at
+// GOMAXPROCS-way speedup.
+package engine
+
+import (
+	"fmt"
+
+	"card/internal/bordercast"
+	proto "card/internal/card"
+	"card/internal/eventq"
+	"card/internal/flood"
+	"card/internal/geom"
+	"card/internal/manet"
+	"card/internal/mobility"
+	"card/internal/neighborhood"
+	"card/internal/topology"
+	"card/internal/xrand"
+)
+
+// NodeID identifies a node; ids are dense in [0, Nodes).
+type NodeID = topology.NodeID
+
+// MobilityKind selects the node-movement model of a simulation.
+type MobilityKind int
+
+const (
+	// Static pins nodes at their initial uniform placement (sensor
+	// networks, the paper's motivating static case).
+	Static MobilityKind = iota
+	// RandomWaypoint is the paper's mobility model: uniform waypoints,
+	// uniform speed in [MinSpeed, MaxSpeed], optional pauses.
+	RandomWaypoint
+)
+
+// ProactiveKind selects the neighborhood substrate implementation.
+type ProactiveKind int
+
+const (
+	// OracleView (default) uses the converged R-hop view recomputed from
+	// each topology snapshot — the paper's modeling choice, whose metrics
+	// exclude proactive-update traffic.
+	OracleView ProactiveKind = iota
+	// DSDVProtocol runs the real scoped destination-sequenced
+	// distance-vector protocol: periodic dumps, triggered updates, soft
+	// state. Neighborhood views then converge with protocol dynamics and
+	// proactive broadcasts appear in MessageCounts.Proactive.
+	DSDVProtocol
+)
+
+// TopologyKind selects how connectivity snapshots are recomputed; see
+// manet.TopologyMode.
+type TopologyKind int
+
+const (
+	// SpatialGrid (default) is the incremental spatial-hash builder.
+	SpatialGrid TopologyKind = iota
+	// FullRebuild rebuilds the grid-indexed graph every refresh.
+	FullRebuild
+	// NaiveRebuild is the O(N²) all-pairs reference path.
+	NaiveRebuild
+)
+
+func (k TopologyKind) mode() (manet.TopologyMode, error) {
+	switch k {
+	case SpatialGrid:
+		return manet.IncrementalTopology, nil
+	case FullRebuild:
+		return manet.FullGridTopology, nil
+	case NaiveRebuild:
+		return manet.NaiveTopology, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown topology kind %d", int(k))
+	}
+}
+
+// NetworkConfig describes the simulated network.
+type NetworkConfig struct {
+	// Nodes is the network size (>= 2).
+	Nodes int
+	// Width, Height are the deployment area in meters.
+	Width, Height float64
+	// TxRange is the radio range in meters (> 0).
+	TxRange float64
+	// Mobility selects Static (default) or RandomWaypoint.
+	Mobility MobilityKind
+	// MinSpeed, MaxSpeed bound RWP speeds in m/s (defaults 1 and 19).
+	MinSpeed, MaxSpeed float64
+	// Pause is the RWP dwell time at waypoints in seconds.
+	Pause float64
+	// Proactive selects the neighborhood substrate (default OracleView).
+	Proactive ProactiveKind
+	// DSDVPeriod is the full-dump interval for DSDVProtocol in seconds
+	// (default 1).
+	DSDVPeriod float64
+	// Topology selects the snapshot strategy (default SpatialGrid).
+	Topology TopologyKind
+	// Seed makes the run reproducible; equal seeds give identical runs.
+	Seed uint64
+}
+
+func (nc *NetworkConfig) fill() error {
+	if nc.Nodes < 2 {
+		return fmt.Errorf("engine: need at least 2 nodes, got %d", nc.Nodes)
+	}
+	if nc.Width <= 0 || nc.Height <= 0 {
+		return fmt.Errorf("engine: non-positive area %gx%g", nc.Width, nc.Height)
+	}
+	if nc.TxRange <= 0 {
+		return fmt.Errorf("engine: non-positive TxRange %g", nc.TxRange)
+	}
+	if nc.MinSpeed == 0 {
+		nc.MinSpeed = 1
+	}
+	if nc.MaxSpeed == 0 {
+		nc.MaxSpeed = 19
+	}
+	return nil
+}
+
+// Engine binds network, substrate and protocol and owns simulated time.
+//
+// Mutation (Advance, SelectContacts, Maintain) is single-goroutine; run
+// independent engines on separate goroutines for parameter sweeps.
+// BatchQuery manages its own internal parallelism and must not overlap
+// with mutation.
+type Engine struct {
+	net  *manet.Network
+	prot *proto.Protocol
+	nb   neighborhood.Provider
+	dsdv *neighborhood.DSDV // non-nil iff Proactive == DSDVProtocol
+	cfg  proto.Config
+
+	q *eventq.Queue
+	// rounds is the number of maintenance boundaries fired; boundary k
+	// (1-based) fires at exactly float64(k) * cfg.ValidatePeriod.
+	rounds int64
+}
+
+// New builds a network per nc and a CARD engine per cfg.
+func New(nc NetworkConfig, cfg proto.Config) (*Engine, error) {
+	if err := nc.fill(); err != nil {
+		return nil, err
+	}
+	area := geom.Rect{W: nc.Width, H: nc.Height}
+	rng := xrand.New(nc.Seed)
+	var model mobility.Model
+	switch nc.Mobility {
+	case Static:
+		model = mobility.NewStatic(topology.UniformPositions(nc.Nodes, area, rng.Derive(0)), area)
+	case RandomWaypoint:
+		m, err := mobility.NewRandomWaypoint(nc.Nodes, area, mobility.RWPConfig{
+			MinSpeed: nc.MinSpeed, MaxSpeed: nc.MaxSpeed, Pause: nc.Pause,
+		}, rng.Derive(0))
+		if err != nil {
+			return nil, err
+		}
+		model = m
+	default:
+		return nil, fmt.Errorf("engine: unknown mobility kind %d", int(nc.Mobility))
+	}
+	mode, err := nc.Topology.mode()
+	if err != nil {
+		return nil, err
+	}
+	net := manet.NewWithMode(model, nc.TxRange, rng.Derive(1), mode)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var nb neighborhood.Provider
+	var dsdv *neighborhood.DSDV
+	switch nc.Proactive {
+	case OracleView:
+		nb = neighborhood.NewOracle(net, cfg.R)
+	case DSDVProtocol:
+		dcfg := neighborhood.DefaultDSDV()
+		if nc.DSDVPeriod > 0 {
+			dcfg.Period = nc.DSDVPeriod
+			dcfg.ExpireAfter = 3 * nc.DSDVPeriod
+		}
+		d, err := neighborhood.NewDSDV(net, cfg.R, dcfg)
+		if err != nil {
+			return nil, err
+		}
+		// Converge the initial tables so t=0 selection sees a warm
+		// substrate, exactly as a deployment would after R dump periods.
+		d.Converge(0, 4*cfg.R)
+		nb = d
+		dsdv = d
+	default:
+		return nil, fmt.Errorf("engine: unknown proactive kind %d", int(nc.Proactive))
+	}
+	p, err := proto.New(net, nb, cfg, rng.Derive(2))
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{net: net, prot: p, nb: nb, dsdv: dsdv, cfg: p.Config(), q: eventq.New()}
+	e.scheduleMaintenance()
+	return e, nil
+}
+
+// scheduleMaintenance queues the next maintenance boundary. Boundaries are
+// derived from the integer round counter, never from the float clock, so
+// the schedule is drift-free: boundary k is always exactly
+// float64(k)·period, each fires exactly once, and the sequence is strictly
+// increasing.
+func (e *Engine) scheduleMaintenance() {
+	k := e.rounds + 1
+	e.q.At(float64(k)*e.cfg.ValidatePeriod, e.maintainTick)
+}
+
+func (e *Engine) maintainTick(now float64) {
+	e.net.RefreshAt(now)
+	if e.dsdv != nil {
+		e.dsdv.DetectBreaks(now)
+		e.dsdv.Round(now)
+	}
+	e.prot.MaintainAll(now)
+	e.rounds++
+	e.scheduleMaintenance()
+}
+
+// Advance moves simulated time forward by dt seconds: node positions and
+// the connectivity snapshot are refreshed, one maintenance round runs at
+// every elapsed ValidatePeriod boundary (a boundary landing exactly on the
+// target time fires), and — under DSDVProtocol — the proactive substrate
+// detects link breaks and issues its periodic dumps. dt <= 0 (or NaN) is a
+// no-op.
+func (e *Engine) Advance(dt float64) {
+	if !(dt > 0) {
+		return
+	}
+	target := e.q.Now() + dt
+	e.q.RunUntil(target)
+	if target > e.net.Now() {
+		e.net.RefreshAt(target)
+		if e.dsdv != nil {
+			e.dsdv.DetectBreaks(target)
+		}
+	}
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.q.Now() }
+
+// Rounds returns how many maintenance rounds have fired so far.
+func (e *Engine) Rounds() int64 { return e.rounds }
+
+// Nodes returns the network size.
+func (e *Engine) Nodes() int { return e.net.N() }
+
+// Config returns the protocol configuration with defaults filled.
+func (e *Engine) Config() proto.Config { return e.cfg }
+
+// Network exposes the underlying substrate.
+func (e *Engine) Network() *manet.Network { return e.net }
+
+// Protocol exposes the underlying CARD protocol instance for advanced use
+// (per-node tables, raw reachability sets).
+func (e *Engine) Protocol() *proto.Protocol { return e.prot }
+
+// Neighborhood returns the proactive substrate.
+func (e *Engine) Neighborhood() neighborhood.Provider { return e.nb }
+
+// Scheduler exposes the engine's event queue so callers can hang custom
+// periodic behavior (workload generators, measurement probes) off the same
+// clock. Events must not assume they run before or after maintenance at
+// equal timestamps beyond the queue's FIFO tie-break.
+func (e *Engine) Scheduler() *eventq.Queue { return e.q }
+
+// SelectContacts runs initial contact selection for every node.
+func (e *Engine) SelectContacts() int { return e.prot.SelectAll(e.Now()) }
+
+// Maintain forces one maintenance round for every node now (outside the
+// periodic schedule; the round counter is not advanced).
+func (e *Engine) Maintain() { e.prot.MaintainAll(e.Now()) }
+
+// Query runs a CARD destination search from src for target.
+func (e *Engine) Query(src, target NodeID) proto.QueryResult {
+	return e.prot.Query(src, target)
+}
+
+// Reachability returns the percentage of the network node u can reach with
+// a depth-D contact search.
+func (e *Engine) Reachability(u NodeID, depth int) float64 {
+	return e.prot.Reachability(u, depth)
+}
+
+// MeanReachability averages Reachability over all nodes.
+func (e *Engine) MeanReachability(depth int) float64 {
+	return e.prot.MeanReachability(depth)
+}
+
+// Stats returns protocol-level statistics.
+func (e *Engine) Stats() proto.Stats { return e.prot.Stats() }
+
+// MessageCounts reports the cumulative control-message tallies by purpose.
+type MessageCounts struct {
+	Selection    int64 // CSQ forward + reply hops
+	Backtrack    int64 // CSQ backtracking hops
+	Validation   int64 // contact path-validation hops
+	Recovery     int64 // local-recovery splice hops
+	Query        int64 // discovery query hops (CARD, flooding, bordercast)
+	Reply        int64 // success-reply hops
+	Proactive    int64 // neighborhood protocol broadcasts (when DSDV runs)
+	TotalPerNode float64
+}
+
+// Messages returns the engine's control-message accounting.
+func (e *Engine) Messages() MessageCounts {
+	k := e.net.Totals()
+	return MessageCounts{
+		Selection:    k.Get(manet.CatCSQ),
+		Backtrack:    k.Get(manet.CatBacktrack),
+		Validation:   k.Get(manet.CatValidate),
+		Recovery:     k.Get(manet.CatRecovery),
+		Query:        k.Get(manet.CatQuery),
+		Reply:        k.Get(manet.CatReply),
+		Proactive:    k.Get(manet.CatDSDV),
+		TotalPerNode: float64(k.Total()) / float64(e.net.N()),
+	}
+}
+
+// FloodQuery runs the flooding baseline on the current topology.
+func (e *Engine) FloodQuery(src, target NodeID) (found bool, messages int64) {
+	r := flood.Query(e.net, src, target, true)
+	return r.Found, r.Messages
+}
+
+// BordercastQuery runs the ZRP bordercasting baseline (zone radius = R,
+// query detection QD2) on the current topology.
+func (e *Engine) BordercastQuery(src, target NodeID) (found bool, messages int64, err error) {
+	bc, err := bordercast.New(e.net, e.nb, bordercast.Config{Zone: e.cfg.R, QD: bordercast.QD2})
+	if err != nil {
+		return false, 0, err
+	}
+	r := bc.Query(src, target)
+	return r.Found, r.Messages, nil
+}
+
+// RandomPair draws a uniformly random (src, dst) pair of distinct nodes
+// from the largest connected component — the standard query workload. ok
+// is false when the component holds fewer than two nodes; src and dst are
+// then both the component's sole member (or 0 on an empty graph), never an
+// out-of-range index.
+func (e *Engine) RandomPair(seed uint64) (p Pair, ok bool) {
+	comp := e.net.Graph().LargestComponent()
+	rng := xrand.New(seed)
+	return drawPair(comp, rng)
+}
+
+// RandomPairs draws k independent pairs from the largest component with
+// one derived random stream (deterministic in seed). Pairs whose component
+// is degenerate are skipped, so the result may be shorter than k.
+func (e *Engine) RandomPairs(k int, seed uint64) []Pair {
+	if k <= 0 {
+		return nil
+	}
+	comp := e.net.Graph().LargestComponent()
+	rng := xrand.New(seed)
+	pairs := make([]Pair, 0, k)
+	for i := 0; i < k; i++ {
+		p, ok := drawPair(comp, rng)
+		if !ok {
+			break // degenerate component: no distinct pairs exist
+		}
+		pairs = append(pairs, p)
+	}
+	return pairs
+}
+
+// drawPair picks two distinct members of comp without rejection sampling:
+// the second index is drawn from the remaining len-1 slots.
+func drawPair(comp []NodeID, rng *xrand.Rand) (Pair, bool) {
+	switch len(comp) {
+	case 0:
+		return Pair{}, false
+	case 1:
+		return Pair{Src: comp[0], Dst: comp[0]}, false
+	}
+	si := rng.Intn(len(comp))
+	di := rng.Intn(len(comp) - 1)
+	if di >= si {
+		di++
+	}
+	return Pair{Src: comp[si], Dst: comp[di]}, true
+}

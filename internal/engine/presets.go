@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	proto "card/internal/card"
+)
+
+// Preset is a named, ready-to-run workload: a network scenario plus a
+// protocol tuning that suits it. New workloads are one struct literal away
+// — add an entry to the table below (or call Register from an experiment)
+// and every consumer (cmd/cardsim -preset, the examples, the scaling
+// benchmarks) can run it by name.
+type Preset struct {
+	Name        string
+	Description string
+	Net         NetworkConfig
+	Protocol    proto.Config
+	// Horizon is the suggested simulated duration in seconds for a
+	// representative run (0 = static scenario, query-only).
+	Horizon float64
+}
+
+// New builds an engine for the preset. seed overrides the preset's
+// default; pass the same seed to get the same run.
+func (p Preset) New(seed uint64) (*Engine, error) {
+	nc := p.Net
+	nc.Seed = seed
+	return New(nc, p.Protocol)
+}
+
+// The built-in presets span the deployment classes the paper motivates
+// (§II): dense static sensor fields, sparse slow-moving rescue teams, and
+// citywide random-waypoint fleets at the 1k–5k scale the companion
+// small-world study evaluates. Protocol tunings follow the paper's Fig. 9
+// recipe: R and NoC grow with N so shallow queries cover most of the
+// field.
+var builtinPresets = []Preset{
+	{
+		Name:        "dense-sensor-field",
+		Description: "2000 static sensors, 1000x1000 m, 50 m radio — dense energy-bound field",
+		Net:         NetworkConfig{Nodes: 2000, Width: 1000, Height: 1000, TxRange: 50, Mobility: Static, Seed: 1},
+		Protocol:    proto.Config{R: 4, MaxContactDist: 20, NoC: 8, Depth: 3},
+	},
+	{
+		Name:        "sparse-rescue",
+		Description: "1000 responders over 2000x2000 m, 100 m radio, 1-5 m/s with 30 s pauses",
+		Net: NetworkConfig{
+			Nodes: 1000, Width: 2000, Height: 2000, TxRange: 100,
+			Mobility: RandomWaypoint, MinSpeed: 1, MaxSpeed: 5, Pause: 30, Seed: 1,
+		},
+		Protocol: proto.Config{R: 3, MaxContactDist: 14, NoC: 6, Depth: 2, ValidatePeriod: 2},
+		Horizon:  60,
+	},
+	{
+		Name:        "citywide-rwp-1k",
+		Description: "1000 vehicles over 1500x1500 m, 100 m radio, 1-19 m/s random waypoint",
+		Net: NetworkConfig{
+			Nodes: 1000, Width: 1500, Height: 1500, TxRange: 100,
+			Mobility: RandomWaypoint, MinSpeed: 1, MaxSpeed: 19, Seed: 1,
+		},
+		Protocol: proto.Config{R: 2, MaxContactDist: 10, NoC: 6, Depth: 2, ValidatePeriod: 2},
+		Horizon:  30,
+	},
+	{
+		Name:        "citywide-rwp-5k",
+		Description: "5000 vehicles over 3000x3000 m, 100 m radio — the large-scale regime",
+		Net: NetworkConfig{
+			Nodes: 5000, Width: 3000, Height: 3000, TxRange: 100,
+			Mobility: RandomWaypoint, MinSpeed: 1, MaxSpeed: 19, Pause: 10, Seed: 1,
+		},
+		Protocol: proto.Config{R: 2, MaxContactDist: 10, NoC: 8, Depth: 3, ValidatePeriod: 2},
+		Horizon:  30,
+	},
+}
+
+var presetIndex = func() map[string]Preset {
+	m := make(map[string]Preset, len(builtinPresets))
+	for _, p := range builtinPresets {
+		m[p.Name] = p
+	}
+	return m
+}()
+
+// Presets returns all registered presets sorted by name.
+func Presets() []Preset {
+	out := make([]Preset, 0, len(presetIndex))
+	for _, p := range presetIndex {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LookupPreset returns the preset registered under name.
+func LookupPreset(name string) (Preset, error) {
+	p, ok := presetIndex[name]
+	if !ok {
+		names := make([]string, 0, len(presetIndex))
+		for n := range presetIndex {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return Preset{}, fmt.Errorf("engine: unknown preset %q (have %v)", name, names)
+	}
+	return p, nil
+}
+
+// Register adds (or replaces) a preset in the registry. Not safe for
+// concurrent use; register during initialization.
+func Register(p Preset) {
+	if p.Name == "" {
+		panic("engine: preset without a name")
+	}
+	presetIndex[p.Name] = p
+}

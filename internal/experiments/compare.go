@@ -93,7 +93,7 @@ func runFig15Cell(fc struct {
 		prot.SelectAll(0)
 		// One maintenance round so the overhead bar includes validation.
 		prot.MaintainAll(1)
-		out.cardOverhead = float64(net.Counters.Sum(overheadCats...)) / n
+		out.cardOverhead = float64(net.Totals().Sum(overheadCats...)) / n
 
 		var qsum int64
 		found := 0
@@ -162,8 +162,8 @@ func RunAblationMethods(o Options) *Table {
 		prot.SelectAll(0)
 		n := float64(net.N())
 		r := &cells[i]
-		r.csq = float64(net.Counters.Get(manet.CatCSQ)) / n
-		r.back = float64(net.Counters.Get(manet.CatBacktrack)) / n
+		r.csq = float64(net.Totals().Get(manet.CatCSQ)) / n
+		r.back = float64(net.Totals().Get(manet.CatBacktrack)) / n
 		r.contacts = float64(prot.TotalContacts()) / n
 		ds := prot.ContactDistances()
 		if len(ds) > 0 {
@@ -229,7 +229,7 @@ func RunAblationRecovery(o Options) *Table {
 		cells[i] = row{
 			lost:      float64(st.ContactsLost) / n,
 			recovered: float64(st.Recoveries) / n,
-			maint:     float64(net.Counters.Sum(maintenanceCats...)) / n,
+			maint:     float64(net.Totals().Sum(maintenanceCats...)) / n,
 			contacts:  float64(prot.TotalContacts()) / n,
 		}
 	})

@@ -61,7 +61,7 @@ func RunAblationMobility(o Options) *Table {
 		cells[i] = row{
 			lost:     float64(st.ContactsLost) / n,
 			splices:  float64(st.Recoveries) / n,
-			overhead: float64(net.Counters.Sum(overheadCats...)) / n,
+			overhead: float64(net.Totals().Sum(overheadCats...)) / n,
 			contacts: float64(prot.TotalContacts()) / n,
 		}
 	})

@@ -65,7 +65,7 @@ func runTimeSim(p timeSimParams, seed uint64) TimeSeries {
 	prot.SelectAll(0)
 
 	var ts TimeSeries
-	snap := net.Counters.Snapshot()
+	snap := net.Totals()
 	nextValidate := cfg.ValidatePeriod
 	nextWindow := p.window
 	n := float64(net.N())
@@ -76,8 +76,8 @@ func runTimeSim(p timeSimParams, seed uint64) TimeSeries {
 			nextValidate += cfg.ValidatePeriod
 		}
 		if t+1e-9 >= nextWindow {
-			d := net.Counters.DiffSince(snap)
-			snap = net.Counters.Snapshot()
+			d := net.Totals().DiffSince(snap)
+			snap = net.Totals()
 			ts.Times = append(ts.Times, nextWindow)
 			ts.Overhead = append(ts.Overhead, float64(d.Sum(overheadCats...))/n)
 			ts.Backtrack = append(ts.Backtrack, float64(d.Get(backtrackCat))/n)
@@ -260,7 +260,7 @@ func RunFig14(o Options) *Table {
 		}
 		results[i] = cellResult{
 			reach: sumReach / float64(net.N()),
-			over:  float64(net.Counters.Sum(overheadCats...)) / float64(net.N()),
+			over:  float64(net.Totals().Sum(overheadCats...)) / float64(net.N()),
 		}
 	})
 	reach := make([]float64, len(nocs))

@@ -1,40 +1,14 @@
 package experiments
 
-import (
-	"runtime"
-	"sync"
-)
+import "card/internal/par"
 
 // Parallel runs fn(i) for every i in [0, n) across up to GOMAXPROCS worker
 // goroutines and waits for completion. Each experiment cell owns its whole
 // simulation (network, protocol, RNG), so cells share nothing and the
 // fan-out is embarrassingly parallel; results land in caller-owned slices
 // indexed by i.
-func Parallel(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-}
+//
+// Parallel is a thin veneer over the shared [par.Do] pool — the same
+// primitive the engine uses for batch queries and the oracle for view
+// warming — so every layer schedules work the same way.
+func Parallel(n int, fn func(i int)) { par.Do(n, fn) }

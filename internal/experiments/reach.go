@@ -186,7 +186,7 @@ func RunFig4(o Options) *Table {
 			panic(err)
 		}
 		p.SelectAll(0)
-		results[i] = float64(net.Counters.Get(backtrackCat)) / float64(net.N())
+		results[i] = float64(net.Totals().Get(backtrackCat)) / float64(net.N())
 	})
 	pm := make([]float64, len(nocs))
 	em := make([]float64, len(nocs))

@@ -31,6 +31,7 @@ var registry = map[string]Runner{
 	"abl-mobility": RunAblationMobility,
 	"replication":  RunReplication,
 	"smallworld":   RunSmallWorld,
+	"scale":        RunScale,
 }
 
 // Names returns the sorted experiment ids.
@@ -62,5 +63,5 @@ var PaperOrder = []string{
 // AblationOrder lists the extra design-choice and future-work experiments.
 var AblationOrder = []string{
 	"abl-methods", "abl-recovery", "abl-qd", "abl-mobility",
-	"replication", "smallworld",
+	"replication", "smallworld", "scale",
 }

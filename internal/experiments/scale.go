@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"card/internal/engine"
+)
+
+// RunScale exercises the engine's workload presets beyond the paper's
+// 250–1000-node scenarios: for each preset it advances the scenario over
+// its horizon, fans a batched query load, and reports topology shape,
+// discovery quality and wall-clock throughput. This is the scaling
+// counterpart to Table 1 — where the paper characterizes connectivity, this
+// table characterizes engine cost at production sizes.
+//
+// Scale (Options.Scale) shrinks node counts density-preserving like every
+// other runner, so CI can sweep the presets cheaply while -scale 1
+// reproduces the full 1k–5k regime.
+func RunScale(o Options) *Table {
+	o.fill()
+	tab := NewTable(
+		fmt.Sprintf("Engine presets under batched query load (scale %g, %d seed(s))", o.Scale, o.Seeds),
+		"preset", "nodes", "degree", "reach-D1 %", "found %", "msgs/query", "sim-s", "wall-ms",
+	)
+	const queries = 500
+	for _, p := range engine.Presets() {
+		nc := p.Net
+		if o.Scale < 1 {
+			nc.Nodes = int(float64(nc.Nodes) * o.Scale)
+			if nc.Nodes < 10 {
+				nc.Nodes = 10
+			}
+			s := sqrtf(o.Scale)
+			nc.Width *= s
+			nc.Height *= s
+		}
+		var (
+			degree, reach, foundPct, msgsPerQ float64
+			wall                              time.Duration
+		)
+		results := make([]scaleCell, o.Seeds)
+		Parallel(o.Seeds, func(i int) {
+			results[i] = runScaleCell(nc, p, uint64(i)+1, queries)
+		})
+		for _, r := range results {
+			degree += r.degree
+			reach += r.reach
+			foundPct += r.foundPct
+			msgsPerQ += r.msgsPerQ
+			wall += r.wall
+		}
+		n := float64(o.Seeds)
+		tab.Add(p.Name, nc.Nodes, degree/n, reach/n, foundPct/n, msgsPerQ/n,
+			p.Horizon, float64((wall / time.Duration(o.Seeds)).Milliseconds()))
+	}
+	return tab
+}
+
+type scaleCell struct {
+	degree, reach, foundPct, msgsPerQ float64
+	wall                              time.Duration
+}
+
+func runScaleCell(nc engine.NetworkConfig, p engine.Preset, seed uint64, queries int) scaleCell {
+	start := time.Now()
+	nc.Seed = seed
+	e, err := engine.New(nc, p.Protocol)
+	if err != nil {
+		// Presets are static data; a failure here is a programming error.
+		panic(fmt.Sprintf("experiments: preset %s: %v", p.Name, err))
+	}
+	e.SelectContacts()
+	if p.Horizon > 0 {
+		e.Advance(p.Horizon)
+	}
+	pairs := e.RandomPairs(queries, seed^0xa5a5a5a5)
+	res := e.BatchQuery(pairs)
+	var found int
+	var msgs int64
+	for _, r := range res {
+		if r.Found {
+			found++
+		}
+		msgs += r.Messages
+	}
+	c := scaleCell{wall: time.Since(start)}
+	g := e.Network().Graph()
+	c.degree = 2 * float64(g.Links()) / float64(g.N())
+	c.reach = e.MeanReachability(1)
+	if len(res) > 0 {
+		c.foundPct = 100 * float64(found) / float64(len(res))
+		c.msgsPerQ = float64(msgs) / float64(len(res))
+	}
+	return c
+}

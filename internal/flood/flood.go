@@ -36,7 +36,7 @@ func Query(net *manet.Network, src, target NodeID, countReply bool) Result {
 
 // QueryTTL floods at most ttl hops from src (ttl < 0 means unbounded).
 func QueryTTL(net *manet.Network, src, target NodeID, ttl int, countReply bool) Result {
-	before := net.Counters.Sum(manet.CatQuery, manet.CatReply)
+	before := net.Totals().Sum(manet.CatQuery, manet.CatReply)
 	bfs := net.Graph().BoundedBFS(src, ttl)
 	found := bfs.Dist[target] >= 0
 	for _, v := range bfs.Visited {
@@ -55,7 +55,7 @@ func QueryTTL(net *manet.Network, src, target NodeID, ttl int, countReply bool) 
 			net.SendHops(manet.CatReply, res.PathHops)
 		}
 	}
-	res.Messages = net.Counters.Sum(manet.CatQuery, manet.CatReply) - before
+	res.Messages = net.Totals().Sum(manet.CatQuery, manet.CatReply) - before
 	return res
 }
 

@@ -81,18 +81,36 @@ type Grid struct {
 	cells [][]int32 // node ids per bucket
 }
 
-// NewGrid creates an index over area with the given cell size (> 0).
+// maxGridCells bounds the bucket count: a sparse network (tiny radio range
+// over a huge area) must not allocate area/range² buckets. Coarsening the
+// cell keeps queries correct — VisitWithin is an over-approximation by
+// bucket either way — at worst visiting more candidates per query.
+const maxGridCells = 1 << 20
+
+// NewGrid creates an index over area with the given cell size (> 0). The
+// effective cell may be coarser than requested when the area/cell ratio
+// would exceed maxGridCells buckets.
 func NewGrid(area Rect, cell float64) *Grid {
 	if cell <= 0 {
 		panic("geom: grid cell size must be positive")
 	}
-	nx := int(math.Ceil(area.W/cell)) + 1
-	ny := int(math.Ceil(area.H/cell)) + 1
-	if nx < 1 {
-		nx = 1
+	dims := func(c float64) (int, int) {
+		nx := int(math.Ceil(area.W/c)) + 1
+		ny := int(math.Ceil(area.H/c)) + 1
+		if nx < 1 {
+			nx = 1
+		}
+		if ny < 1 {
+			ny = 1
+		}
+		return nx, ny
 	}
-	if ny < 1 {
-		ny = 1
+	nx, ny := dims(cell)
+	// Compare in float64: for extreme area/cell ratios the int product
+	// nx*ny can overflow before the guard sees it.
+	for float64(nx)*float64(ny) > maxGridCells {
+		cell *= 2
+		nx, ny = dims(cell)
 	}
 	return &Grid{area: area, cell: cell, nx: nx, ny: ny, cells: make([][]int32, nx*ny)}
 }
@@ -129,28 +147,64 @@ func (g *Grid) Insert(id int32, p Point) {
 	g.cells[i] = append(g.cells[i], id)
 }
 
+// Remove deletes one occurrence of id from the bucket holding position p
+// (which must be where the id was inserted). It reports whether the id was
+// found. Bucket order is not preserved — callers that need deterministic
+// neighbor order must sort after distance filtering, as Build does.
+func (g *Grid) Remove(id int32, p Point) bool {
+	i := g.index(p)
+	cell := g.cells[i]
+	for j, v := range cell {
+		if v == id {
+			cell[j] = cell[len(cell)-1]
+			g.cells[i] = cell[:len(cell)-1]
+			return true
+		}
+	}
+	return false
+}
+
 // VisitWithin calls fn for every inserted node id whose bucket could contain
 // a point within radius of p. Callers must distance-filter: the visit is a
 // superset of the true in-range set (bucket granularity), never a subset.
 func (g *Grid) VisitWithin(p Point, radius float64, fn func(id int32)) {
-	span := int(math.Ceil(radius / g.cell))
-	// Clamp the center cell exactly as Insert does, so that points outside
-	// the nominal area are still found near where they were filed.
-	center := g.index(p)
-	cx, cy := center%g.nx, center/g.nx
-	for dy := -span; dy <= span; dy++ {
-		y := cy + dy
-		if y < 0 || y >= g.ny {
-			continue
-		}
-		for dx := -span; dx <= span; dx++ {
-			x := cx + dx
-			if x < 0 || x >= g.nx {
-				continue
-			}
+	x0, y0, x1, y1 := g.BucketRange(p, radius)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
 			for _, id := range g.cells[y*g.nx+x] {
 				fn(id)
 			}
 		}
 	}
 }
+
+// BucketRange returns the inclusive cell-coordinate bounds [x0,x1]×[y0,y1]
+// whose buckets can contain points within radius of p. Together with
+// Bucket it lets hot loops scan candidates without per-candidate callback
+// indirection (the unit-disk builders' inner loop).
+func (g *Grid) BucketRange(p Point, radius float64) (x0, y0, x1, y1 int) {
+	span := int(math.Ceil(radius / g.cell))
+	// Clamp the center cell exactly as Insert does, so that points outside
+	// the nominal area are still found near where they were filed.
+	center := g.index(p)
+	cx, cy := center%g.nx, center/g.nx
+	x0, x1 = cx-span, cx+span
+	if x0 < 0 {
+		x0 = 0
+	}
+	if x1 >= g.nx {
+		x1 = g.nx - 1
+	}
+	y0, y1 = cy-span, cy+span
+	if y0 < 0 {
+		y0 = 0
+	}
+	if y1 >= g.ny {
+		y1 = g.ny - 1
+	}
+	return x0, y0, x1, y1
+}
+
+// Bucket returns the ids filed in cell (x, y). Callers must not mutate the
+// slice, and must treat it as invalidated by Insert/Remove/Reset.
+func (g *Grid) Bucket(x, y int) []int32 { return g.cells[y*g.nx+x] }

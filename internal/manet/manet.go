@@ -14,7 +14,15 @@
 //
 // The topology snapshot is refreshed explicitly (RefreshAt); protocols
 // observe link churn between refreshes exactly as a beacon-driven MANET
-// stack observes it between hello intervals.
+// stack observes it between hello intervals. How the snapshot is computed
+// is selected by TopologyMode: the default incremental spatial-hash
+// builder reprocesses only nodes that moved, the full-grid mode rebuilds
+// every refresh, and the naive O(N²) mode exists as the correctness and
+// performance reference.
+//
+// Message accounting flows through a pluggable [Recorder] (see
+// recorder.go): the plain [Counters] for serial runs, [AtomicCounters]
+// when concurrent readers or writers are in play.
 package manet
 
 import (
@@ -58,88 +66,66 @@ func (c Category) String() string {
 	return categoryNames[c]
 }
 
-// Counters tallies control-message transmissions per category. The zero
-// value is ready to use. Not safe for concurrent use: every simulation run
-// owns its Network (and hence its Counters) exclusively.
-type Counters struct {
-	c [numCategories]int64
+// TopologyMode selects how the connectivity snapshot is recomputed at each
+// refresh.
+type TopologyMode int
+
+const (
+	// IncrementalTopology (default) keeps a spatial-hash grid alive across
+	// refreshes and reprocesses only the nodes that moved since the last
+	// snapshot — O(moved·degree) per refresh.
+	IncrementalTopology TopologyMode = iota
+	// FullGridTopology rebuilds the grid-indexed graph from scratch every
+	// refresh — O(N·degree).
+	FullGridTopology
+	// NaiveTopology runs the O(N²) all-pairs scan every refresh. Reference
+	// implementation for equivalence tests and scaling benchmarks.
+	NaiveTopology
+)
+
+func (m TopologyMode) String() string {
+	switch m {
+	case IncrementalTopology:
+		return "incremental"
+	case FullGridTopology:
+		return "full-grid"
+	case NaiveTopology:
+		return "naive"
+	default:
+		return fmt.Sprintf("TopologyMode(%d)", int(m))
+	}
 }
 
-// Add records n transmissions of category cat.
-func (k *Counters) Add(cat Category, n int) { k.c[cat] += int64(n) }
-
-// Get returns the count for one category.
-func (k *Counters) Get(cat Category) int64 { return k.c[cat] }
-
-// Sum returns the combined count across the given categories.
-func (k *Counters) Sum(cats ...Category) int64 {
-	var s int64
-	for _, c := range cats {
-		s += k.c[c]
-	}
-	return s
-}
-
-// Total returns the count across all categories.
-func (k *Counters) Total() int64 {
-	var s int64
-	for _, v := range k.c {
-		s += v
-	}
-	return s
-}
-
-// Snapshot returns a copy of the current tallies, for window deltas.
-func (k *Counters) Snapshot() Counters { return *k }
-
-// DiffSince returns per-category counts accumulated since the snapshot.
-func (k *Counters) DiffSince(prev Counters) Counters {
-	var d Counters
-	for i := range k.c {
-		d.c[i] = k.c[i] - prev.c[i]
-	}
-	return d
-}
-
-// Reset zeroes all categories.
-func (k *Counters) Reset() { k.c = [numCategories]int64{} }
-
-func (k *Counters) String() string {
-	s := ""
-	for i, v := range k.c {
-		if v == 0 {
-			continue
-		}
-		if s != "" {
-			s += " "
-		}
-		s += fmt.Sprintf("%s=%d", Category(i), v)
-	}
-	if s == "" {
-		return "(none)"
-	}
-	return s
-}
-
-// Network is the substrate protocols run on. It is single-goroutine: each
-// simulation run constructs and drives its own Network.
+// Network is the substrate protocols run on. It is single-goroutine for
+// mutation: each simulation run constructs and drives its own Network.
+// Read-only access (graph queries, neighborhood lookups) is safe from
+// multiple goroutines between refreshes, which is what the engine's batch
+// query fan-out relies on.
 type Network struct {
 	model   mobility.Model
 	txRange float64
 	rng     *xrand.Rand
+	mode    TopologyMode
 
-	now   float64
-	epoch uint64
-	pos   []geom.Point
-	graph *topology.Graph
+	now     float64
+	epoch   uint64
+	pos     []geom.Point
+	graph   *topology.Graph
+	builder *topology.Builder // non-nil iff mode == IncrementalTopology
 
-	// Counters tallies all control-message transmissions on this network.
-	Counters Counters
+	rec Recorder
 }
 
 // New creates a network over the mobility model with the given transmission
-// range and takes the initial topology snapshot at t=0.
+// range and takes the initial topology snapshot at t=0. The network starts
+// with the default incremental topology mode and a serial Counters
+// recorder.
 func New(model mobility.Model, txRange float64, rng *xrand.Rand) *Network {
+	return NewWithMode(model, txRange, rng, IncrementalTopology)
+}
+
+// NewWithMode is New with an explicit topology mode.
+func NewWithMode(model mobility.Model, txRange float64, rng *xrand.Rand, mode TopologyMode) *Network {
 	if txRange <= 0 {
 		panic("manet: non-positive transmission range")
 	}
@@ -147,7 +133,12 @@ func New(model mobility.Model, txRange float64, rng *xrand.Rand) *Network {
 		model:   model,
 		txRange: txRange,
 		rng:     rng,
+		mode:    mode,
 		pos:     make([]geom.Point, model.N()),
+		rec:     &Counters{},
+	}
+	if mode == IncrementalTopology {
+		n.builder = topology.NewBuilder(model.N(), model.Area(), txRange)
 	}
 	n.rebuild(0)
 	return n
@@ -155,7 +146,14 @@ func New(model mobility.Model, txRange float64, rng *xrand.Rand) *Network {
 
 func (n *Network) rebuild(t float64) {
 	n.model.PositionsAt(t, n.pos)
-	n.graph = topology.Build(n.pos, n.model.Area(), n.txRange)
+	switch n.mode {
+	case IncrementalTopology:
+		n.graph = n.builder.Update(n.pos)
+	case NaiveTopology:
+		n.graph = topology.BuildNaive(n.pos, n.model.Area(), n.txRange)
+	default:
+		n.graph = topology.Build(n.pos, n.model.Area(), n.txRange)
+	}
 	n.now = t
 	n.epoch++
 }
@@ -179,11 +177,15 @@ func (n *Network) Now() float64 { return n.now }
 // derived state (neighborhood views) keyed by epoch.
 func (n *Network) Epoch() uint64 { return n.epoch }
 
-// Graph returns the current connectivity snapshot.
+// Graph returns the current connectivity snapshot. The snapshot is valid
+// until the next refresh; do not retain it across RefreshAt.
 func (n *Network) Graph() *topology.Graph { return n.graph }
 
 // TxRange returns the radio range in meters.
 func (n *Network) TxRange() float64 { return n.txRange }
+
+// TopologyMode returns how this network recomputes snapshots.
+func (n *Network) TopologyMode() TopologyMode { return n.mode }
 
 // Rng returns the network's deterministic random stream (used by protocols
 // for forwarding choices).
@@ -195,15 +197,34 @@ func (n *Network) Adjacent(u, v NodeID) bool { return n.graph.Adjacent(u, v) }
 // Neighbors returns u's current one-hop neighbors (do not mutate).
 func (n *Network) Neighbors(u NodeID) []NodeID { return n.graph.Neighbors(u) }
 
+// Recorder returns the active message-accounting sink.
+func (n *Network) Recorder() Recorder { return n.rec }
+
+// SetRecorder swaps the accounting sink (e.g. to AtomicCounters before a
+// concurrent phase). Tallies already recorded stay with the old recorder;
+// callers that need continuity should carry totals over themselves.
+func (n *Network) SetRecorder(r Recorder) {
+	if r == nil {
+		panic("manet: nil recorder")
+	}
+	n.rec = r
+}
+
+// Totals returns the current per-category message tallies.
+func (n *Network) Totals() Counters { return n.rec.Totals() }
+
+// Record adds k transmissions of category cat to the active recorder.
+func (n *Network) Record(cat Category, k int64) { n.rec.Record(cat, k) }
+
 // SendHop accounts one unicast hop transmission of category cat.
-func (n *Network) SendHop(cat Category) { n.Counters.Add(cat, 1) }
+func (n *Network) SendHop(cat Category) { n.rec.Record(cat, 1) }
 
 // SendHops accounts k unicast hop transmissions of category cat.
-func (n *Network) SendHops(cat Category, k int) { n.Counters.Add(cat, k) }
+func (n *Network) SendHops(cat Category, k int) { n.rec.Record(cat, int64(k)) }
 
 // Broadcast accounts one local broadcast transmission of category cat
 // (one radio transmission heard by all current neighbors).
-func (n *Network) Broadcast(cat Category) { n.Counters.Add(cat, 1) }
+func (n *Network) Broadcast(cat Category) { n.rec.Record(cat, 1) }
 
 // WalkPath accounts the unicast transmissions needed to move one packet
 // along path (len(path)-1 hops) and reports whether every hop exists in the

@@ -30,7 +30,7 @@ func TestCountersBasics(t *testing.T) {
 	if got := k.Total(); got != 6 {
 		t.Errorf("Total = %d", got)
 	}
-	snap := k.Snapshot()
+	snap := k.Totals()
 	k.Add(CatQuery, 5)
 	d := k.DiffSince(snap)
 	if d.Get(CatQuery) != 5 || d.Get(CatCSQ) != 0 {
@@ -145,10 +145,10 @@ func TestSendAccounting(t *testing.T) {
 	n.SendHop(CatQuery)
 	n.SendHops(CatQuery, 3)
 	n.Broadcast(CatDSDV)
-	if got := n.Counters.Get(CatQuery); got != 4 {
+	if got := n.Totals().Get(CatQuery); got != 4 {
 		t.Errorf("query count = %d", got)
 	}
-	if got := n.Counters.Get(CatDSDV); got != 1 {
+	if got := n.Totals().Get(CatDSDV); got != 1 {
 		t.Errorf("dsdv count = %d", got)
 	}
 }
@@ -160,7 +160,7 @@ func TestWalkPathComplete(t *testing.T) {
 	if !ok || holder != 3 {
 		t.Errorf("WalkPath = %v, %d", ok, holder)
 	}
-	if got := n.Counters.Get(CatValidate); got != 3 {
+	if got := n.Totals().Get(CatValidate); got != 3 {
 		t.Errorf("validate hops = %d, want 3", got)
 	}
 }
@@ -175,7 +175,7 @@ func TestWalkPathBroken(t *testing.T) {
 	if holder != 1 {
 		t.Errorf("holder = %d, want 1 (packet stuck at node index 1)", holder)
 	}
-	if got := n.Counters.Get(CatValidate); got != 1 {
+	if got := n.Totals().Get(CatValidate); got != 1 {
 		t.Errorf("validate hops = %d, want 1 (only first hop succeeded)", got)
 	}
 }
@@ -186,7 +186,7 @@ func TestWalkPathSingleNode(t *testing.T) {
 	if !ok || holder != 0 {
 		t.Errorf("trivial walk = %v, %d", ok, holder)
 	}
-	if n.Counters.Total() != 0 {
+	if n.Totals().Total() != 0 {
 		t.Error("trivial walk counted messages")
 	}
 }

@@ -1,0 +1,134 @@
+package manet
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Recorder is the message-accounting sink a Network writes to. Extracting
+// it behind an interface decouples the protocols (which only ever *emit*
+// transmissions) from how tallies are stored, so a run can choose the
+// plain serial Counters, the concurrency-safe AtomicCounters, or any
+// decorator (windowed deltas, per-node attribution) without touching
+// protocol code.
+type Recorder interface {
+	// Record adds n transmissions of category cat. n may be zero.
+	Record(cat Category, n int64)
+	// Totals returns a consistent copy of the per-category tallies.
+	Totals() Counters
+}
+
+// Counters is the serial Recorder: a plain per-category tally. The zero
+// value is ready to use. Not safe for concurrent use — it is the right
+// choice when a simulation run owns its Network exclusively, which is the
+// default.
+type Counters struct {
+	c [numCategories]int64
+}
+
+// Record implements Recorder.
+func (k *Counters) Record(cat Category, n int64) { k.c[cat] += n }
+
+// Totals implements Recorder.
+func (k *Counters) Totals() Counters { return *k }
+
+// Add records n transmissions of category cat.
+func (k *Counters) Add(cat Category, n int) { k.c[cat] += int64(n) }
+
+// Get returns the count for one category.
+func (k Counters) Get(cat Category) int64 { return k.c[cat] }
+
+// Sum returns the combined count across the given categories.
+func (k Counters) Sum(cats ...Category) int64 {
+	var s int64
+	for _, c := range cats {
+		s += k.c[c]
+	}
+	return s
+}
+
+// Total returns the count across all categories.
+func (k Counters) Total() int64 {
+	var s int64
+	for _, v := range k.c {
+		s += v
+	}
+	return s
+}
+
+// DiffSince returns per-category counts accumulated since the snapshot.
+func (k Counters) DiffSince(prev Counters) Counters {
+	var d Counters
+	for i := range k.c {
+		d.c[i] = k.c[i] - prev.c[i]
+	}
+	return d
+}
+
+// Reset zeroes all categories.
+func (k *Counters) Reset() { k.c = [numCategories]int64{} }
+
+func (k Counters) String() string {
+	s := ""
+	for i, v := range k.c {
+		if v == 0 {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", Category(i), v)
+	}
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}
+
+type paddedCounter struct {
+	v atomic.Int64
+	_ [56]byte // pad to a 64-byte cache line: categories never share a line
+}
+
+// AtomicCounters is the concurrent Recorder: per-category atomic tallies,
+// each on its own cache line, safe for any number of concurrent writers
+// and readers. Totals read each category atomically; a snapshot taken
+// while writers are active can tear *across* categories, but is exact once
+// writers quiesce — which is when the engine reads it (workers flush their
+// local tallies after the batch joins).
+type AtomicCounters struct {
+	c [numCategories]paddedCounter
+}
+
+// NewAtomicCounters returns an empty concurrent recorder.
+func NewAtomicCounters() *AtomicCounters { return &AtomicCounters{} }
+
+// Record implements Recorder.
+func (a *AtomicCounters) Record(cat Category, n int64) {
+	if n == 0 {
+		return
+	}
+	a.c[cat].v.Add(n)
+}
+
+// Totals implements Recorder.
+func (a *AtomicCounters) Totals() Counters {
+	var k Counters
+	for cat := range a.c {
+		k.c[cat] = a.c[cat].v.Load()
+	}
+	return k
+}
+
+// Reset zeroes all categories. Not atomic across categories; call only
+// while writers are quiescent.
+func (a *AtomicCounters) Reset() {
+	for cat := range a.c {
+		a.c[cat].v.Store(0)
+	}
+}
+
+var (
+	_ Recorder = (*Counters)(nil)
+	_ Recorder = (*AtomicCounters)(nil)
+)

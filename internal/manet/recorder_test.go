@@ -1,0 +1,99 @@
+package manet
+
+import (
+	"sync"
+	"testing"
+
+	"card/internal/geom"
+	"card/internal/mobility"
+	"card/internal/xrand"
+)
+
+func TestAtomicCountersConcurrent(t *testing.T) {
+	a := NewAtomicCounters()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				a.Record(CatQuery, 2)
+				a.Record(CatReply, 1)
+				a.Record(CatCSQ, 0) // zero adds must be no-ops
+			}
+		}()
+	}
+	wg.Wait()
+	k := a.Totals()
+	if got := k.Get(CatQuery); got != 2*workers*perWorker {
+		t.Errorf("CatQuery = %d, want %d", got, 2*workers*perWorker)
+	}
+	if got := k.Get(CatReply); got != workers*perWorker {
+		t.Errorf("CatReply = %d, want %d", got, workers*perWorker)
+	}
+	if got := k.Get(CatCSQ); got != 0 {
+		t.Errorf("CatCSQ = %d, want 0", got)
+	}
+	a.Reset()
+	if a.Totals().Total() != 0 {
+		t.Error("Reset did not zero the recorder")
+	}
+}
+
+func TestSetRecorderSwaps(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 20, Y: 0}, {X: 30, Y: 0}}
+	n := staticNet(t, pts, 15)
+	n.SendHop(CatQuery)
+	a := NewAtomicCounters()
+	n.SetRecorder(a)
+	n.SendHops(CatQuery, 3)
+	if got := n.Totals().Get(CatQuery); got != 3 {
+		t.Errorf("after swap Totals = %d, want 3 (old tallies stay behind)", got)
+	}
+	if n.Recorder() != Recorder(a) {
+		t.Error("Recorder() did not return the swapped recorder")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("nil SetRecorder did not panic")
+		}
+	}()
+	n.SetRecorder(nil)
+}
+
+// TestTopologyModesAgree cross-checks the three snapshot strategies over a
+// mobile trace: identical adjacency at every refresh.
+func TestTopologyModesAgree(t *testing.T) {
+	mk := func(mode TopologyMode) *Network {
+		m, err := mobility.NewRandomWaypoint(120, area, mobility.RWPConfig{
+			MinSpeed: 1, MaxSpeed: 15, Pause: 2,
+		}, xrand.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewWithMode(m, 60, xrand.New(6), mode)
+	}
+	inc, full, naive := mk(IncrementalTopology), mk(FullGridTopology), mk(NaiveTopology)
+	for step := 1; step <= 12; step++ {
+		tm := float64(step) * 0.5
+		inc.RefreshAt(tm)
+		full.RefreshAt(tm)
+		naive.RefreshAt(tm)
+		gi, gf, gn := inc.Graph(), full.Graph(), naive.Graph()
+		if gi.Links() != gf.Links() || gf.Links() != gn.Links() {
+			t.Fatalf("t=%v links diverge: inc=%d full=%d naive=%d", tm, gi.Links(), gf.Links(), gn.Links())
+		}
+		for u := 0; u < gi.N(); u++ {
+			a, b, c := gi.Neighbors(NodeID(u)), gf.Neighbors(NodeID(u)), gn.Neighbors(NodeID(u))
+			if len(a) != len(b) || len(b) != len(c) {
+				t.Fatalf("t=%v node %d degree diverges: %v %v %v", tm, u, a, b, c)
+			}
+			for i := range a {
+				if a[i] != b[i] || b[i] != c[i] {
+					t.Fatalf("t=%v node %d adjacency diverges", tm, u)
+				}
+			}
+		}
+	}
+}

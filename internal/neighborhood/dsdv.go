@@ -7,6 +7,7 @@ import (
 	"card/internal/bitset"
 	"card/internal/eventq"
 	"card/internal/manet"
+	"card/internal/par"
 )
 
 // DSDVConfig parameterizes the scoped distance-vector protocol.
@@ -390,4 +391,15 @@ func (d *DSDV) EdgeNodes(u NodeID) []NodeID {
 	return d.edges[u]
 }
 
-var _ Provider = (*DSDV)(nil)
+// WarmAll implements Warmer: it rebuilds every dirty per-node cache so the
+// Provider facade is read-only until the next Round/DetectBreaks. Contains
+// and Dist read the tables directly and are always safe between rounds;
+// warming additionally covers Set, Route and EdgeNodes.
+func (d *DSDV) WarmAll() {
+	par.Do(len(d.tables), func(i int) { d.refreshCache(NodeID(i)) })
+}
+
+var (
+	_ Provider = (*DSDV)(nil)
+	_ Warmer   = (*DSDV)(nil)
+)

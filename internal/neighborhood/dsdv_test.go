@@ -116,9 +116,9 @@ func TestDSDVRoutesAreUsable(t *testing.T) {
 func TestDSDVCountsBroadcasts(t *testing.T) {
 	net := lineNet(5)
 	d := newDSDV(t, net, 2)
-	before := net.Counters.Get(manet.CatDSDV)
+	before := net.Totals().Get(manet.CatDSDV)
 	d.Round(0)
-	after := net.Counters.Get(manet.CatDSDV)
+	after := net.Totals().Get(manet.CatDSDV)
 	if after-before != 5 {
 		t.Errorf("one round counted %d broadcasts, want 5", after-before)
 	}
@@ -210,7 +210,7 @@ func TestDSDVStartOnEventQueue(t *testing.T) {
 				u, d.Set(u), o.Set(u))
 		}
 	}
-	if net.Counters.Get(manet.CatDSDV) == 0 {
+	if net.Totals().Get(manet.CatDSDV) == 0 {
 		t.Error("no DSDV broadcasts counted")
 	}
 }

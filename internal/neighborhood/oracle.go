@@ -3,6 +3,7 @@ package neighborhood
 import (
 	"card/internal/bitset"
 	"card/internal/manet"
+	"card/internal/par"
 	"card/internal/topology"
 )
 
@@ -40,16 +41,19 @@ func NewOracle(net *manet.Network, r int) *Oracle {
 // R implements Provider.
 func (o *Oracle) R() int { return o.r }
 
-func (o *Oracle) view(u NodeID) *oracleView {
+// invalidate drops cached views if the topology moved on.
+func (o *Oracle) invalidate() {
 	if e := o.net.Epoch(); e != o.epoch {
 		o.epoch = e
 		for i := range o.views {
 			o.views[i] = nil
 		}
 	}
-	if v := o.views[u]; v != nil {
-		return v
-	}
+}
+
+// compute builds u's view from the current snapshot (pure read of the
+// graph; safe to run concurrently for distinct nodes).
+func (o *Oracle) compute(u NodeID) *oracleView {
 	g := o.net.Graph()
 	bfs := g.BoundedBFS(u, o.r)
 	set := bitset.New(g.N())
@@ -60,9 +64,29 @@ func (o *Oracle) view(u NodeID) *oracleView {
 			edges = append(edges, w)
 		}
 	}
-	v := &oracleView{bfs: bfs, set: set, edges: edges}
+	return &oracleView{bfs: bfs, set: set, edges: edges}
+}
+
+func (o *Oracle) view(u NodeID) *oracleView {
+	o.invalidate()
+	if v := o.views[u]; v != nil {
+		return v
+	}
+	v := o.compute(u)
 	o.views[u] = v
 	return v
+}
+
+// WarmAll implements Warmer: it materializes every node's view for the
+// current snapshot, fanning the per-node BFS across workers. Afterwards
+// Set/Contains/Dist/Route/EdgeNodes are pure reads until the next epoch.
+func (o *Oracle) WarmAll() {
+	o.invalidate()
+	par.Do(len(o.views), func(i int) {
+		if o.views[i] == nil {
+			o.views[i] = o.compute(NodeID(i))
+		}
+	})
 }
 
 // Set implements Provider.
@@ -92,4 +116,7 @@ func (o *Oracle) Route(u, x NodeID) []NodeID {
 // EdgeNodes implements Provider.
 func (o *Oracle) EdgeNodes(u NodeID) []NodeID { return o.view(u).edges }
 
-var _ Provider = (*Oracle)(nil)
+var (
+	_ Provider = (*Oracle)(nil)
+	_ Warmer   = (*Oracle)(nil)
+)

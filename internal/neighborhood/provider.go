@@ -48,6 +48,16 @@ type Provider interface {
 	EdgeNodes(u NodeID) []NodeID
 }
 
+// Warmer is implemented by providers whose per-node views are computed
+// lazily (and therefore mutate internal caches on first read). WarmAll
+// materializes every node's view for the current topology snapshot, after
+// which the Provider's read methods are safe to call from multiple
+// goroutines until the next topology refresh or protocol round. The
+// engine's batch query fan-out warms providers before going parallel.
+type Warmer interface {
+	WarmAll()
+}
+
 // Overlaps reports whether the neighborhoods of a and b intersect — the
 // paper's overlap predicate between a candidate contact and the source (or
 // a previously selected contact).

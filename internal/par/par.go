@@ -1,0 +1,75 @@
+// Package par is the simulator's shared worker-pool primitive: a static
+// fan-out of independent index-addressed jobs across GOMAXPROCS goroutines.
+//
+// It sits below every layer that parallelizes — experiments fan whole
+// simulation cells, the engine fans read-only batch queries, the oracle
+// neighborhood warms per-node views — so each layer shares one scheduling
+// idiom instead of growing its own pool. Jobs must be independent: results
+// land in caller-owned slices indexed by job, which keeps every fan-out
+// deterministic regardless of goroutine interleaving.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Limit returns the maximum number of workers a fan-out will use
+// (GOMAXPROCS at call time, never less than 1).
+func Limit() int {
+	if w := runtime.GOMAXPROCS(0); w > 1 {
+		return w
+	}
+	return 1
+}
+
+// Do runs fn(i) for every i in [0, n) across up to Limit() workers and
+// waits for completion. fn must not assume any ordering between indices.
+func Do(n int, fn func(i int)) {
+	Workers(n, func(_, i int) { fn(i) })
+}
+
+// Workers runs fn(worker, i) for every i in [0, n) and waits for
+// completion. The worker argument is a dense id in [0, Limit()) that is
+// stable for the lifetime of one call, letting callers keep per-worker
+// scratch state (e.g. a query scratchpad) without locking: no two jobs
+// with the same worker id ever run concurrently.
+func Workers(n int, fn func(worker, i int)) {
+	WorkersN(Limit(), n, fn)
+}
+
+// WorkersN is Workers with an explicit worker-count bound: worker ids are
+// dense in [0, min(workers, n)). Use it when per-worker state is sized
+// ahead of the call, so the bound cannot drift from a second GOMAXPROCS
+// read.
+func WorkersN(workers, n int, fn func(worker, i int)) {
+	if n <= 0 || workers <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(worker, int(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,258 @@
+package topology
+
+import (
+	"slices"
+
+	"card/internal/geom"
+)
+
+// BuildNaive constructs the same unit-disk graph as Build with the
+// textbook O(N²) all-pairs scan. It exists as the reference
+// implementation: the grid and incremental builders must produce
+// byte-identical adjacency, and the scaling benchmarks measure against it.
+func BuildNaive(pos []geom.Point, area geom.Rect, txRange float64) *Graph {
+	if txRange <= 0 {
+		panic("topology: non-positive transmission range")
+	}
+	g := &Graph{
+		pos:  append([]geom.Point(nil), pos...),
+		area: area,
+		rng:  txRange,
+		adj:  make([][]NodeID, len(pos)),
+	}
+	r2 := txRange * txRange
+	for i := range g.pos {
+		for j := i + 1; j < len(g.pos); j++ {
+			if g.pos[i].Dist2(g.pos[j]) <= r2 {
+				// Ascending append on both sides keeps adjacency sorted
+				// without an explicit sort pass.
+				g.adj[i] = append(g.adj[i], NodeID(j))
+				g.adj[j] = append(g.adj[j], NodeID(i))
+				g.links++
+			}
+		}
+	}
+	return g
+}
+
+// Builder maintains a unit-disk graph across position updates. Unlike
+// Build, which re-buckets and re-scans every node on every snapshot, a
+// Builder keeps its spatial-hash grid and adjacency lists alive between
+// updates and reprocesses only the nodes that actually moved (plus their
+// old and new neighbors). With m moved nodes of mean degree d an update
+// costs O(m·d) instead of O(N·d), which is what makes slow-churn scenarios
+// (pausing waypoints, static sensor fields with a few mobile collectors)
+// cheap at thousands of nodes.
+//
+// The Graph returned by Update aliases the Builder's internal storage and
+// is invalidated by the next Update call. That matches how the simulator
+// consumes snapshots — protocols re-fetch the graph from the network after
+// every refresh, keyed by epoch — and avoids re-allocating O(N·d)
+// adjacency every topology refresh.
+type Builder struct {
+	area    geom.Rect
+	txRange float64
+	grid    *geom.Grid
+	pos     []geom.Point
+	adj     [][]NodeID
+	links   int
+	built   bool
+
+	// Generation-stamped scratch: avoids clearing O(N) marker arrays on
+	// every update.
+	gen        uint64
+	movedStamp []uint64
+	moved      []NodeID
+	newAdj     []NodeID
+}
+
+// fullRebuildFraction is the moved-node fraction above which an update
+// falls back to a full grid rebuild. The incremental path only pays for
+// moved nodes and their neighborhoods (stationary lists are patched with
+// O(degree) sorted inserts, never re-sorted), so it stays cheaper than a
+// full rebuild until well past half the fleet moving at once.
+const fullRebuildFraction = 0.6
+
+// NewBuilder creates an incremental builder for n nodes over area with the
+// given transmission range. The first Update performs a full build.
+func NewBuilder(n int, area geom.Rect, txRange float64) *Builder {
+	if txRange <= 0 {
+		panic("topology: non-positive transmission range")
+	}
+	return &Builder{
+		area:       area,
+		txRange:    txRange,
+		grid:       geom.NewGrid(area, txRange),
+		pos:        make([]geom.Point, n),
+		adj:        make([][]NodeID, n),
+		movedStamp: make([]uint64, n),
+	}
+}
+
+// N returns the number of nodes the builder tracks.
+func (b *Builder) N() int { return len(b.pos) }
+
+// Update brings the graph to the given positions (length must equal N) and
+// returns the refreshed snapshot. The snapshot aliases builder storage and
+// is invalidated by the next Update.
+func (b *Builder) Update(pos []geom.Point) *Graph {
+	if len(pos) != len(b.pos) {
+		panic("topology: Builder.Update with mismatched position count")
+	}
+	if !b.built {
+		b.fullBuild(pos)
+		b.built = true
+		return b.snapshot()
+	}
+	b.moved = b.moved[:0]
+	for i, p := range pos {
+		if p != b.pos[i] {
+			b.moved = append(b.moved, NodeID(i))
+		}
+	}
+	if len(b.moved) == 0 {
+		return b.snapshot()
+	}
+	if float64(len(b.moved)) > fullRebuildFraction*float64(len(pos)) {
+		b.fullBuild(pos)
+		return b.snapshot()
+	}
+	b.incremental(pos)
+	return b.snapshot()
+}
+
+// fullBuild rebuilds grid and adjacency from scratch (reusing storage).
+func (b *Builder) fullBuild(pos []geom.Point) {
+	copy(b.pos, pos)
+	b.grid.Reset()
+	for i, p := range b.pos {
+		b.grid.Insert(int32(i), p)
+	}
+	r2 := b.txRange * b.txRange
+	for i, p := range b.pos {
+		u := NodeID(i)
+		adj := b.adj[u][:0]
+		x0, y0, x1, y1 := b.grid.BucketRange(p, b.txRange)
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				for _, v := range b.grid.Bucket(x, y) {
+					if v != u && p.Dist2(b.pos[v]) <= r2 {
+						adj = append(adj, v)
+					}
+				}
+			}
+		}
+		sortIDs(adj)
+		b.adj[u] = adj
+	}
+	b.recountLinks()
+}
+
+// incremental applies a subset-moved update: re-bucket the moved nodes,
+// rescan their neighborhoods via the grid, and patch stationary nodes'
+// lists only where an edge actually appeared or disappeared. At fine
+// sensing rates a moving node's displacement per refresh is a fraction of
+// the radio range, so its edge set is usually unchanged and the patching
+// step does no work at all — the steady-state cost is the moved nodes'
+// grid rescans.
+func (b *Builder) incremental(pos []geom.Point) {
+	b.gen++
+	gen := b.gen
+	for _, m := range b.moved {
+		b.movedStamp[m] = gen
+	}
+
+	// 1. Re-bucket the moved nodes at their new positions.
+	for _, m := range b.moved {
+		b.grid.Remove(int32(m), b.pos[m])
+		b.pos[m] = pos[m]
+		b.grid.Insert(int32(m), b.pos[m])
+	}
+
+	// 2. Rescan each moved node against the updated grid, then merge-diff
+	// the sorted old and new lists: stationary endpoints of vanished edges
+	// drop m, stationary endpoints of new edges gain m (sorted in place,
+	// O(degree)). Moved–moved edges need no patching — each endpoint's own
+	// rescan settles its list.
+	r2 := b.txRange * b.txRange
+	for _, m := range b.moved {
+		p := b.pos[m]
+		newAdj := b.newAdj[:0]
+		x0, y0, x1, y1 := b.grid.BucketRange(p, b.txRange)
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				for _, v := range b.grid.Bucket(x, y) {
+					if v != m && p.Dist2(b.pos[v]) <= r2 {
+						newAdj = append(newAdj, v)
+					}
+				}
+			}
+		}
+		sortIDs(newAdj)
+		b.newAdj = newAdj // keep the (possibly grown) scratch buffer
+
+		old := b.adj[m]
+		if slices.Equal(old, newAdj) {
+			continue // displacement too small to change any edge: no patching
+		}
+		i, j := 0, 0
+		for i < len(old) || j < len(newAdj) {
+			switch {
+			case j == len(newAdj) || (i < len(old) && old[i] < newAdj[j]):
+				if v := old[i]; b.movedStamp[v] != gen {
+					b.adj[v] = removeSorted(b.adj[v], m)
+				}
+				i++
+			case i == len(old) || old[i] > newAdj[j]:
+				if v := newAdj[j]; b.movedStamp[v] != gen {
+					b.adj[v] = insertSorted(b.adj[v], m)
+				}
+				j++
+			default: // edge unchanged
+				i++
+				j++
+			}
+		}
+		b.adj[m] = append(old[:0], newAdj...)
+	}
+	b.recountLinks()
+}
+
+// insertSorted adds x to the sorted slice a, keeping it sorted.
+func insertSorted(a []NodeID, x NodeID) []NodeID {
+	a = append(a, x)
+	i := len(a) - 1
+	for i > 0 && a[i-1] > x {
+		a[i] = a[i-1]
+		i--
+	}
+	a[i] = x
+	return a
+}
+
+// removeSorted deletes x from the sorted slice a, keeping it sorted.
+func removeSorted(a []NodeID, x NodeID) []NodeID {
+	for i, v := range a {
+		if v == x {
+			copy(a[i:], a[i+1:])
+			return a[:len(a)-1]
+		}
+	}
+	return a
+}
+
+func (b *Builder) recountLinks() {
+	sum := 0
+	for _, a := range b.adj {
+		sum += len(a)
+	}
+	b.links = sum / 2
+}
+
+// snapshot wraps the builder's current state in a Graph header. The slices
+// are shared, not copied; see the type comment for the lifetime contract.
+func (b *Builder) snapshot() *Graph {
+	return &Graph{pos: b.pos, area: b.area, rng: b.txRange, adj: b.adj, links: b.links}
+}
+
+func sortIDs(a []NodeID) { slices.Sort(a) }

@@ -1,0 +1,108 @@
+package topology
+
+import (
+	"testing"
+
+	"card/internal/geom"
+	"card/internal/xrand"
+)
+
+// graphsEqual reports full structural equality: positions, links, and
+// per-node sorted adjacency.
+func graphsEqual(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if want.N() != got.N() {
+		t.Fatalf("node count: want %d, got %d", want.N(), got.N())
+	}
+	if want.Links() != got.Links() {
+		t.Errorf("links: want %d, got %d", want.Links(), got.Links())
+	}
+	for u := 0; u < want.N(); u++ {
+		if want.Pos(NodeID(u)) != got.Pos(NodeID(u)) {
+			t.Fatalf("node %d position: want %v, got %v", u, want.Pos(NodeID(u)), got.Pos(NodeID(u)))
+		}
+		w, g := want.Neighbors(NodeID(u)), got.Neighbors(NodeID(u))
+		if len(w) != len(g) {
+			t.Fatalf("node %d degree: want %v, got %v", u, w, g)
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("node %d adjacency: want %v, got %v", u, w, g)
+			}
+		}
+	}
+}
+
+func TestBuildNaiveMatchesGrid(t *testing.T) {
+	area := geom.Rect{W: 400, H: 300}
+	rng := xrand.New(11)
+	for _, n := range []int{1, 2, 10, 120, 400} {
+		pos := UniformPositions(n, area, rng)
+		graphsEqual(t, BuildNaive(pos, area, 55), Build(pos, area, 55))
+	}
+}
+
+// TestBuilderMatchesFullRebuild drives a Builder through a random mobility
+// trace where a random subset of nodes moves each step (including the
+// empty and full subsets) and checks that every incremental snapshot is
+// structurally identical to a from-scratch build.
+func TestBuilderMatchesFullRebuild(t *testing.T) {
+	const n = 250
+	area := geom.Rect{W: 600, H: 600}
+	const tx = 60.0
+	rng := xrand.New(7)
+	pos := UniformPositions(n, area, rng)
+	b := NewBuilder(n, area, tx)
+	graphsEqual(t, Build(pos, area, tx), b.Update(pos))
+
+	for step := 0; step < 60; step++ {
+		// Vary the churn: steps cycle through no movement, a handful of
+		// movers, a large subset (above the full-rebuild threshold), and
+		// everyone.
+		var movers int
+		switch step % 4 {
+		case 0:
+			movers = 0
+		case 1:
+			movers = 5
+		case 2:
+			movers = n / 2
+		case 3:
+			movers = n
+		}
+		for k := 0; k < movers; k++ {
+			i := rng.Intn(n)
+			pos[i] = area.Clamp(geom.Point{
+				X: pos[i].X + rng.Range(-80, 80),
+				Y: pos[i].Y + rng.Range(-80, 80),
+			})
+		}
+		graphsEqual(t, Build(pos, area, tx), b.Update(pos))
+	}
+}
+
+// TestBuilderTeleport moves one node across the whole area — exercising
+// grid removal and reinsertion into distant buckets.
+func TestBuilderTeleport(t *testing.T) {
+	area := geom.Rect{W: 500, H: 500}
+	const tx = 80.0
+	rng := xrand.New(3)
+	pos := UniformPositions(100, area, rng)
+	b := NewBuilder(100, area, tx)
+	b.Update(pos)
+	for step := 0; step < 20; step++ {
+		i := rng.Intn(100)
+		pos[i] = geom.Point{X: rng.Range(0, area.W), Y: rng.Range(0, area.H)}
+		graphsEqual(t, Build(pos, area, tx), b.Update(pos))
+	}
+}
+
+func TestBuilderUpdateMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched position count")
+		}
+	}()
+	b := NewBuilder(4, geom.Rect{W: 10, H: 10}, 2)
+	b.Update(make([]geom.Point, 3))
+}

@@ -13,6 +13,7 @@ package topology
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"card/internal/geom"
@@ -54,16 +55,18 @@ func Build(pos []geom.Point, area geom.Rect, txRange float64) *Graph {
 	r2 := txRange * txRange
 	for i, p := range g.pos {
 		u := NodeID(i)
-		grid.VisitWithin(p, txRange, func(v NodeID) {
-			if v == u {
-				return
+		x0, y0, x1, y1 := grid.BucketRange(p, txRange)
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				for _, v := range grid.Bucket(x, y) {
+					if v != u && p.Dist2(g.pos[v]) <= r2 {
+						g.adj[u] = append(g.adj[u], v)
+					}
+				}
 			}
-			if p.Dist2(g.pos[v]) <= r2 {
-				g.adj[u] = append(g.adj[u], v)
-			}
-		})
+		}
 		// Deterministic neighbor order regardless of grid traversal.
-		sort.Slice(g.adj[u], func(a, b int) bool { return g.adj[u][a] < g.adj[u][b] })
+		slices.Sort(g.adj[u])
 		g.links += len(g.adj[u])
 	}
 	g.links /= 2
