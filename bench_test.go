@@ -319,6 +319,38 @@ func BenchmarkSelectionRound(b *testing.B) {
 	}
 }
 
+// benchMaintain5k measures network-wide maintenance rounds on the
+// citywide-rwp-5k preset — the write-side hot loop the parallel round
+// fan-out exists for. Mobility stepping and the topology refresh are
+// serial fixed cost shared by both variants, so they run off the clock:
+// each iteration churns the network untimed, then times one forced
+// Maintain round on the fresh snapshot. Setup (build + initial selection)
+// always runs with the default pool; only the measured rounds honor the
+// worker bound, which is sound because the serial and sharded paths are
+// bit-identical (TestMaintainParallelEquivalence).
+func benchMaintain5k(b *testing.B, workers int) {
+	sim, err := NewPresetSimulation("citywide-rwp-5k", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.SelectContacts()
+	sim.Engine().SetMaintainWorkers(workers)
+	period := sim.Config().ValidatePeriod
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sim.Advance(0.95 * period) // mobility + topology churn, off the clock
+		b.StartTimer()
+		sim.Maintain()
+	}
+}
+
+// BenchmarkMaintain5kSerial is the serial reference; the acceptance bar
+// for the round fan-out is BenchmarkMaintain5kParallel ≥ 2× faster on a
+// multi-core runner (CI records both in BENCH_2.json).
+func BenchmarkMaintain5kSerial(b *testing.B)   { benchMaintain5k(b, 1) }
+func BenchmarkMaintain5kParallel(b *testing.B) { benchMaintain5k(b, 0) }
+
 // BenchmarkMaintenanceRound measures a network-wide validation round under
 // mobility.
 func BenchmarkMaintenanceRound(b *testing.B) {

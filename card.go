@@ -87,7 +87,7 @@ type MessageCounts = engine.MessageCounts
 type Preset = engine.Preset
 
 // Presets lists the built-in workload presets (dense-sensor-field,
-// sparse-rescue, citywide-rwp-1k, citywide-rwp-5k, ...), sorted by name.
+// sparse-rescue, citywide-rwp-1k/5k/10k, ...), sorted by name.
 func Presets() []Preset { return engine.Presets() }
 
 // LookupPreset returns the preset registered under name.
@@ -115,7 +115,10 @@ func NewPresetSimulation(name string, seed uint64) (*Simulation, error) {
 //
 // Mutating calls (Advance, SelectContacts, Maintain) are single-goroutine;
 // run independent simulations on separate goroutines for parameter sweeps.
-// BatchQuery parallelizes internally.
+// BatchQuery — and, since the round fan-out, the selection/maintenance
+// rounds inside Advance/SelectContacts/Maintain — parallelize internally,
+// with results bit-identical to the serial loops at any GOMAXPROCS (use
+// Engine().SetMaintainWorkers to bound or disable the round sharding).
 type Simulation struct {
 	e *engine.Engine
 }
@@ -155,10 +158,12 @@ func (s *Simulation) Protocol() *proto.Protocol { return s.e.Protocol() }
 // matter how Advance calls are sliced.
 func (s *Simulation) Advance(dt float64) { s.e.Advance(dt) }
 
-// SelectContacts runs initial contact selection for every node.
+// SelectContacts runs initial contact selection for every node, sharded
+// across the maintenance worker pool.
 func (s *Simulation) SelectContacts() int { return s.e.SelectContacts() }
 
-// Maintain forces one maintenance round for every node now.
+// Maintain forces one maintenance round for every node now, sharded
+// across the maintenance worker pool.
 func (s *Simulation) Maintain() { s.e.Maintain() }
 
 // Query runs a CARD destination search from src for target.

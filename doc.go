@@ -35,7 +35,7 @@
 //	results := sim.BatchQuery(sim.RandomPairs(500, 7))
 //
 // Ready-made large-scale scenarios (dense sensor fields, sparse rescue
-// teams, citywide fleets at 1k-5k nodes) are available as presets:
+// teams, citywide fleets at 1k-10k nodes) are available as presets:
 //
 //	sim, err := card.NewPresetSimulation("citywide-rwp-1k", 42)
 //

@@ -1,9 +1,5 @@
 package card
 
-import (
-	"card/internal/manet"
-)
-
 // Maintain runs one contact-maintenance round (§III.C.3) for node u:
 //
 //  1. each contact is sent a validation message along its stored source
@@ -12,89 +8,28 @@ import (
 //     message looks the missing hop (and then each later path node) up in
 //     its own neighborhood table and splices the path;
 //  3. contacts whose path cannot be recovered are lost;
-//  4. contacts whose validated path length falls outside
+//  4. contacts whose validated loop-free path length falls outside
 //     [method lower bound, r] are dropped;
 //  5. a table left below NoC triggers new contact selection.
-func (p *Protocol) Maintain(u NodeID, now float64) {
-	t := p.tables[u]
-	for i := 0; i < len(t.contacts); {
-		c := t.contacts[i]
-		newPath, ok := p.validatePath(c)
-		if !ok {
-			p.stats.ContactsLost++
-			t.removeAt(i)
-			continue
-		}
-		hops := len(newPath) - 1
-		lo := p.cfg.Method.lowerBound(p.cfg.R)
-		if hops < lo || hops > p.cfg.MaxContactDist {
-			p.stats.ContactsLost++
-			p.stats.BoundDrops++
-			t.removeAt(i)
-			continue
-		}
-		c.Path = newPath
-		c.LastValidated = now
-		i++
-	}
-	if t.Len() < p.cfg.NoC {
-		p.SelectContacts(u, now)
-	}
-}
-
-// MaintainAll runs Maintain for every node, in id order.
-func (p *Protocol) MaintainAll(now float64) {
-	for i := 0; i < p.net.N(); i++ {
-		p.Maintain(NodeID(i), now)
-	}
-}
-
-// validatePath walks a contact's stored source route over the current
-// topology, splicing around missing hops via local recovery. It returns
-// the (possibly re-spliced) path, or ok=false when the contact is lost.
 //
-// Message accounting: every surviving hop of the validation walk counts as
-// CatValidate; hops introduced by recovery splices count as CatRecovery.
-func (p *Protocol) validatePath(c *Contact) (path []NodeID, ok bool) {
-	old := c.Path
-	out := make([]NodeID, 1, len(old))
-	out[0] = old[0]
-	i := 0 // index in old of the node the validation message sits at
-	for i+1 < len(old) {
-		cur := out[len(out)-1]
-		next := old[i+1]
-		if p.net.Adjacent(cur, next) {
-			p.net.SendHop(manet.CatValidate)
-			out = append(out, next)
-			i++
-			continue
-		}
-		if p.cfg.DisableLocalRecovery {
-			p.stats.RecoveryFailures++
-			return nil, false
-		}
-		// Local recovery: look for the missing hop — and failing that, each
-		// subsequent node of the source path — in cur's neighborhood table.
-		recovered := false
-		for j := i + 1; j < len(old); j++ {
-			if !p.nb.Contains(cur, old[j]) {
-				continue
-			}
-			sub := p.nb.Route(cur, old[j])
-			if sub == nil {
-				continue
-			}
-			p.net.SendHops(manet.CatRecovery, len(sub)-1)
-			out = append(out, sub[1:]...)
-			i = j
-			p.stats.Recoveries++
-			recovered = true
-			break
-		}
-		if !recovered {
-			p.stats.RecoveryFailures++
-			return nil, false
-		}
+// Maintain is the serial entry point: it runs on the protocol's own
+// [Maintainer] (consuming one RNG round) and flushes statistics and
+// message tallies immediately. For concurrent maintenance rounds, create
+// one Maintainer per worker instead — see Maintainer.MaintainNode and the
+// engine's round fan-out.
+func (p *Protocol) Maintain(u NodeID, now float64) {
+	p.maint.MaintainNode(u, now, p.NextRound())
+	p.maint.Flush()
+}
+
+// MaintainAll runs one maintenance round for every node, in id order. All
+// nodes share the round's RNG round id: node u draws from the substream
+// (u, round), so the engine's sharded rounds are bit-identical to this
+// serial loop.
+func (p *Protocol) MaintainAll(now float64) {
+	round := p.NextRound()
+	for i := 0; i < p.net.N(); i++ {
+		p.maint.MaintainNode(NodeID(i), now, round)
 	}
-	return out, true
+	p.maint.Flush()
 }

@@ -1,6 +1,7 @@
 package card
 
 import (
+	"reflect"
 	"testing"
 
 	"card/internal/manet"
@@ -91,6 +92,17 @@ func TestMaintainRefillsDeficit(t *testing.T) {
 	}
 }
 
+// validateOnce runs one path validation on a fresh maintainer and flushes
+// its accounting, so tests observe stats and message totals as the serial
+// entry points would produce them. validatePath draws no randomness, so no
+// round id is involved.
+func validateOnce(p *Protocol, c *Contact) ([]NodeID, bool) {
+	m := p.NewMaintainer()
+	path, ok := m.validatePath(c)
+	m.Flush()
+	return path, ok
+}
+
 func TestLocalRecoverySplicesPath(t *testing.T) {
 	// Hand-built scenario: contact path 0-1-2-3-4-5 where node 2 vanishes
 	// (teleports away), but node 1 still reaches node 3 through relay 6
@@ -110,7 +122,7 @@ func TestLocalRecoverySplicesPath(t *testing.T) {
 	// Break the path: move node 2 far away.
 	teleport(net, 2, 500, 500)
 
-	newPath, ok := p.validatePath(c)
+	newPath, ok := validateOnce(p, c)
 	if !ok {
 		t.Fatal("local recovery failed despite available relays")
 	}
@@ -143,7 +155,7 @@ func TestLocalRecoverySkipsToLaterPathNodes(t *testing.T) {
 	teleport(net, 2, 500, 500)
 	teleport(net, 3, 500, 400)
 
-	newPath, ok := p.validatePath(c)
+	newPath, ok := validateOnce(p, c)
 	if !ok {
 		t.Fatal("recovery failed despite a relay route around two missing hops")
 	}
@@ -152,6 +164,45 @@ func TestLocalRecoverySkipsToLaterPathNodes(t *testing.T) {
 		if n == 2 || n == 3 {
 			t.Fatalf("recovered path still contains vanished node: %v", newPath)
 		}
+	}
+}
+
+func TestLocalRecoverySpliceCompactsLoops(t *testing.T) {
+	// Geometry forcing the recovery splice to double back through a node
+	// already on the rebuilt prefix. Contact path 0-1-2-3; node 2 vanishes.
+	// Node 1 cannot reach 3 directly (16 m > 15 m), and its only route to 3
+	// goes back through 0 and relay 4: splicing [1,0,4,3] onto the prefix
+	// [0,1] yields the self-intersecting route 0-1-0-4-3, which inflated
+	// Hops() from 2 to 4 before compaction.
+	//
+	//   0(0,0) — 1(12,0) — 2(18,-8) — 3(12,-16)
+	//   relay 4(0,-13): 0-4 = 13 m, 4-3 = 12.4 m
+	net := customNet(t, [][2]float64{
+		{0, 0}, {12, 0}, {18, -8}, {12, -16},
+		{0, -13},
+	})
+	cfg := Config{R: 3, MaxContactDist: 10, NoC: 1, Method: EM}
+	p := newProtocol(t, net, cfg, 37)
+	c := &Contact{ID: 3, Path: []NodeID{0, 1, 2, 3}}
+	p.Table(0).add(c)
+	teleport(net, 2, 500, 500)
+
+	newPath, ok := validateOnce(p, c)
+	if !ok {
+		t.Fatal("recovery failed despite relay route 1-0-4-3")
+	}
+	checkPathValid(t, net, newPath)
+	if !pathIsSimple(newPath) {
+		t.Fatalf("recovered path self-intersects: %v", newPath)
+	}
+	if newPath[0] != 0 || newPath[len(newPath)-1] != 3 {
+		t.Fatalf("recovered path endpoints wrong: %v", newPath)
+	}
+	if want := []NodeID{0, 4, 3}; !reflect.DeepEqual(newPath, want) {
+		t.Fatalf("recovered path = %v, want %v (loop through 0 compacted)", newPath, want)
+	}
+	if p.Stats().Recoveries == 0 {
+		t.Error("recovery not recorded in stats")
 	}
 }
 
@@ -165,7 +216,7 @@ func TestDisableLocalRecoveryLosesContact(t *testing.T) {
 	c := &Contact{ID: 5, Path: []NodeID{0, 1, 2, 3, 4, 5}}
 	p.Table(0).add(c)
 	teleport(net, 2, 500, 500)
-	if _, ok := p.validatePath(c); ok {
+	if _, ok := validateOnce(p, c); ok {
 		t.Fatal("recovery disabled but path still validated")
 	}
 	if p.Stats().RecoveryFailures != 1 {

@@ -1,0 +1,422 @@
+package card
+
+import (
+	"card/internal/bitset"
+	"card/internal/manet"
+	"card/internal/xrand"
+)
+
+// Maintainer executes contact selection and maintenance for individual
+// nodes without touching any shared mutable protocol state: the visited
+// markers, the selection-overlap scratch, the random generator, the
+// protocol statistics and the message tallies all live in the Maintainer
+// itself. It is the write-side sibling of [Querier]: between topology
+// refreshes, any number of Maintainers may run concurrently over the same
+// Protocol — one per worker, each handling a disjoint set of nodes — since
+// node u's round reads and writes only u's own table.
+//
+// Determinism is anchored in counter-based RNG streams: MaintainNode and
+// SelectNode reseed the Maintainer's generator from the substream
+// (nodeID, round) of the protocol's run seed, so a node's coin flips are
+// identical whether the round runs serially in id order or sharded across
+// any number of workers in any interleaving. The engine's round fan-out
+// relies on exactly this.
+//
+// A Maintainer is single-goroutine; protocol statistics and message
+// tallies accumulate locally until Flush hands them over. With concurrent
+// Maintainers, flush serially after the fan-out joins (the engine flushes
+// in worker order).
+type Maintainer struct {
+	p *Protocol
+
+	// visited is the per-CSQ "this node has seen query q" marker, epoch
+	// stamped to avoid clearing between walks (EM walks only; PM walks are
+	// memoryless by design).
+	visited  []uint64
+	visitGen uint64
+
+	// ineligible is the per-CSQ selection-overlap scratch; see
+	// computeIneligible.
+	ineligible *bitset.Set
+
+	// rng is reseeded from the (node, round) substream at every
+	// MaintainNode/SelectNode entry; it must never be drawn from before a
+	// reseed.
+	rng *xrand.Rand
+
+	// Locally accumulated protocol statistics and transmission tallies,
+	// flushed on demand.
+	stats Stats
+	pend  manet.Counters
+}
+
+// NewMaintainer creates an independent selection/maintenance executor
+// over p.
+func (p *Protocol) NewMaintainer() *Maintainer {
+	return &Maintainer{
+		p:          p,
+		visited:    make([]uint64, p.net.N()),
+		ineligible: bitset.New(p.net.N()),
+		rng:        xrand.New(0), // reseeded per (node, round) before use
+	}
+}
+
+// Flush hands the locally accumulated statistics and message tallies to
+// the protocol and its network recorder, and zeroes them. Call after a
+// serial round completes, or — with concurrent Maintainers — serially
+// after the fan-out joins.
+func (m *Maintainer) Flush() {
+	m.pend.AddTo(m.p.net.Recorder())
+	m.pend.Reset()
+	m.p.stats.add(m.stats)
+	m.stats = Stats{}
+}
+
+// sendHop accounts one unicast hop transmission of category cat into the
+// local tally.
+func (m *Maintainer) sendHop(cat manet.Category) { m.pend.Add(cat, 1) }
+
+// sendHops accounts k unicast hop transmissions of category cat.
+func (m *Maintainer) sendHops(cat manet.Category, k int) { m.pend.Add(cat, k) }
+
+// SelectNode runs the contact-selection procedure of §III.C.1 for node u
+// at simulation time now, drawing randomness from the (u, round)
+// substream. It returns the number of contacts added. See
+// Protocol.SelectContacts for the serial entry point.
+func (m *Maintainer) SelectNode(u NodeID, now float64, round uint64) int {
+	m.rng.Reseed(m.p.rng.StreamSeed(uint64(u), round))
+	return m.selectContacts(u, now)
+}
+
+// MaintainNode runs one contact-maintenance round (§III.C.3) for node u,
+// drawing any refill-selection randomness from the (u, round) substream.
+// See Protocol.Maintain for the serial entry point and the rule list.
+func (m *Maintainer) MaintainNode(u NodeID, now float64, round uint64) {
+	m.rng.Reseed(m.p.rng.StreamSeed(uint64(u), round))
+	m.maintain(u, now)
+}
+
+// selectContacts implements the selection round on the already-seeded
+// generator: while the table holds fewer than NoC contacts, send a Contact
+// Selection Query (CSQ) through each edge node, one at a time.
+//
+// Each CSQ performs a random depth-first walk with backtracking beyond the
+// edge node, bounded to r hops from the source, until some node accepts
+// contact-hood under the configured method (PM1/PM2/EM) or the region is
+// exhausted.
+//
+// A walk that comes home empty visited everything it could reach within
+// its budget, but walks launched through other edge nodes still explore
+// different directions (path length is charged from the source through
+// that edge). The round therefore tolerates MaxFailedWalks empty walks
+// before giving up until the next maintenance round — which retries with
+// fresh randomness, mattering most for the probabilistic methods whose
+// coin flips may simply have failed (the paper's "lost opportunities").
+func (m *Maintainer) selectContacts(u NodeID, now float64) int {
+	p := m.p
+	t := p.tables[u]
+	if t.Len() >= p.cfg.NoC {
+		return 0
+	}
+	edges := append([]NodeID(nil), p.nb.EdgeNodes(u)...)
+	m.rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	added, failures := 0, 0
+	for _, e := range edges {
+		if t.Len() >= p.cfg.NoC {
+			break
+		}
+		c, exhausted := m.runCSQ(u, e, now)
+		if c != nil {
+			t.add(c)
+			m.stats.ContactsSelected++
+			added++
+		}
+		if exhausted {
+			failures++
+			if p.cfg.MaxFailedWalks > 0 && failures >= p.cfg.MaxFailedWalks {
+				break
+			}
+		}
+	}
+	return added
+}
+
+// maintain implements the maintenance round on the already-seeded
+// generator; see Protocol.Maintain for the five rules.
+func (m *Maintainer) maintain(u NodeID, now float64) {
+	p := m.p
+	t := p.tables[u]
+	for i := 0; i < len(t.contacts); {
+		c := t.contacts[i]
+		newPath, ok := m.validatePath(c)
+		if !ok {
+			m.stats.ContactsLost++
+			t.removeAt(i)
+			continue
+		}
+		hops := len(newPath) - 1
+		lo := p.cfg.Method.lowerBound(p.cfg.R)
+		if hops < lo || hops > p.cfg.MaxContactDist {
+			m.stats.ContactsLost++
+			m.stats.BoundDrops++
+			t.removeAt(i)
+			continue
+		}
+		c.Path = newPath
+		c.LastValidated = now
+		i++
+	}
+	if t.Len() < p.cfg.NoC {
+		m.selectContacts(u, now)
+	}
+}
+
+// computeIneligible fills m.ineligible with every node that must refuse
+// contact-hood for source u.
+//
+// The paper phrases the test locally at the candidate X: "X checks if the
+// source lies within its neighborhood [and] if its neighborhood contains
+// any of the node IDs in the Contact_List [or, under EM, the Edge_List]".
+// Hop distance over an undirected snapshot is symmetric, so
+// (y in N(X)) == (X in N(y)); the union of N(source), N(contact_i) and —
+// for EM — N(edge_j) therefore contains exactly the candidates that would
+// refuse. Precomputing that union once per CSQ replaces O(|Contact_List| +
+// |Edge_List|) membership probes at every visited node with one bit test,
+// without changing the decision each node would make.
+func (m *Maintainer) computeIneligible(u NodeID) {
+	p := m.p
+	set := m.ineligible
+	set.CopyFrom(p.nb.Set(u))
+	for _, c := range p.tables[u].contacts {
+		set.UnionWith(p.nb.Set(c.ID))
+	}
+	if p.cfg.Method == EM {
+		for _, e := range p.nb.EdgeNodes(u) {
+			set.UnionWith(p.nb.Set(e))
+		}
+	}
+}
+
+// accept decides whether node x, reached with CSQ hop count d, becomes a
+// contact for the current walk (§III.C.2).
+func (m *Maintainer) accept(x NodeID, d int) bool {
+	if m.ineligible.Contains(int(x)) {
+		return false
+	}
+	switch m.p.cfg.Method {
+	case PM1:
+		return m.rng.Bool(acceptProb(d, m.p.cfg.R, m.p.cfg.MaxContactDist))
+	case PM2:
+		return m.rng.Bool(acceptProb(d, 2*m.p.cfg.R, m.p.cfg.MaxContactDist))
+	default: // EM: the edge-list exclusion is already in ineligible
+		return true
+	}
+}
+
+// runCSQ sends one Contact Selection Query from u through edge node e. It
+// returns the selected contact, or nil with exhausted=true when the walk
+// gave up (region saturated for EM; step budget burned for PM).
+//
+// The two walk disciplines deliberately differ, following §III.C.2:
+//
+//   - EM carries "the query and source IDs ... to prevent looping", i.e.
+//     nodes remember the query and refuse to take it twice — a clean
+//     depth-first traversal over distinct nodes that terminates once the
+//     r-hop region is exhausted.
+//   - PM has no such memory: each node "forwards the query to one of its
+//     randomly chosen neighbor (excluding the one from which CSQ was
+//     received)". The walk may revisit nodes (re-flipping the coin), its
+//     hop count d is the length of the path it has built, and it bounces
+//     off the d = r shell with backtracking. This wandering is exactly the
+//     "extra traffic ... due to backtracking, and lost opportunities when
+//     the probability fails" that Fig. 4 charges to PM; a per-query step
+//     budget (2N transmissions) bounds walks that would wander forever.
+//
+// Message accounting: the transit u→e and every forward walk hop count as
+// CatCSQ; every reverse hop (dead-end retreat, r-shell bounce, and the
+// failure report back to the source) counts as CatBacktrack; the success
+// reply returning the contact path counts as CatCSQ.
+func (m *Maintainer) runCSQ(u, e NodeID, now float64) (c *Contact, exhausted bool) {
+	m.stats.CSQLaunched++
+	route := m.p.nb.Route(u, e)
+	if route == nil {
+		return nil, false // stale edge information (provider mid-convergence)
+	}
+	m.computeIneligible(u)
+	m.sendHops(manet.CatCSQ, len(route)-1)
+	if m.p.cfg.Method == EM {
+		return m.walkEM(route, now)
+	}
+	return m.walkPM(route, now)
+}
+
+// walkEM runs the edge method's loop-free depth-first walk.
+func (m *Maintainer) walkEM(route []NodeID, now float64) (*Contact, bool) {
+	m.visitGen++
+	gen := m.visitGen
+	for _, n := range route {
+		m.visited[n] = gen
+	}
+	stack := append([]NodeID(nil), route...)
+	r := m.p.cfg.MaxContactDist
+	var cand []NodeID
+	for {
+		x := stack[len(stack)-1]
+		d := len(stack) - 1
+		cand = cand[:0]
+		if d < r {
+			for _, y := range m.p.net.Neighbors(x) {
+				if m.visited[y] != gen {
+					cand = append(cand, y)
+				}
+			}
+		}
+		if len(cand) == 0 {
+			// Dead end or depth limit: backtrack one hop. Walking back past
+			// the edge node means the whole region is exhausted — the
+			// failure report continues to the source.
+			m.sendHop(manet.CatBacktrack)
+			stack = stack[:len(stack)-1]
+			if len(stack) < len(route) {
+				m.sendHops(manet.CatBacktrack, len(stack)-1)
+				return nil, true
+			}
+			continue
+		}
+		y := cand[m.rng.Intn(len(cand))]
+		m.visited[y] = gen
+		stack = append(stack, y)
+		m.sendHop(manet.CatCSQ)
+		if m.accept(y, len(stack)-1) {
+			return m.acceptContact(stack, now), false
+		}
+	}
+}
+
+// walkPM runs the probabilistic methods' memoryless walk: forward to a
+// random neighbor other than the parent, bounce off the r-hop shell, and
+// give up when the per-query step budget is gone.
+func (m *Maintainer) walkPM(route []NodeID, now float64) (*Contact, bool) {
+	stack := append([]NodeID(nil), route...)
+	r := m.p.cfg.MaxContactDist
+	budget := m.csqBudget()
+	var cand []NodeID
+	for budget > 0 {
+		x := stack[len(stack)-1]
+		d := len(stack) - 1
+		parent := stack[len(stack)-2] // route has >= 2 nodes, stack never shrinks below it
+		cand = cand[:0]
+		if d < r {
+			for _, y := range m.p.net.Neighbors(x) {
+				if y != parent {
+					cand = append(cand, y)
+				}
+			}
+		}
+		if len(cand) == 0 {
+			// r-shell bounce or dead end: backtrack one hop.
+			m.sendHop(manet.CatBacktrack)
+			budget--
+			stack = stack[:len(stack)-1]
+			if len(stack) < len(route) {
+				m.sendHops(manet.CatBacktrack, len(stack)-1)
+				return nil, true
+			}
+			continue
+		}
+		y := cand[m.rng.Intn(len(cand))]
+		stack = append(stack, y)
+		m.sendHop(manet.CatCSQ)
+		budget--
+		if m.accept(y, len(stack)-1) {
+			return m.acceptContact(stack, now), false
+		}
+	}
+	// Budget exhausted mid-walk: the query dies and the current holder
+	// reports failure back along the walk path.
+	m.sendHops(manet.CatBacktrack, len(stack)-1)
+	return nil, true
+}
+
+// csqBudget is the PM walk's transmission budget: twice the network size,
+// enough to cover the region several times over without letting a
+// pathological walk run unbounded.
+func (m *Maintainer) csqBudget() int { return 2 * m.p.net.N() }
+
+// acceptContact finalizes a successful walk: the acceptor compacts the
+// accumulated walk into a loop-free source route and returns it to the
+// source, which stores the contact.
+//
+// The compaction matters for the PM walks, whose memoryless wandering may
+// self-intersect: the acceptance decision uses the raw walk hop count d
+// (the paper's semantics), but the route the reply carries — and the
+// source stores — must be the net, loop-free path, or Contact.Hops() is
+// inflated and the contact gets wrongly bound-dropped at the next
+// maintenance round. EM walks are simple by construction, so compaction
+// is a no-op for them.
+func (m *Maintainer) acceptContact(stack []NodeID, now float64) *Contact {
+	path := compactLoops(append([]NodeID(nil), stack...))
+	m.sendHops(manet.CatCSQ, len(path)-1) // reply carrying the loop-free path
+	m.stats.CSQSucceeded++
+	return &Contact{ID: path[len(path)-1], Path: path, SelectedAt: now, LastValidated: now}
+}
+
+// validatePath walks a contact's stored source route over the current
+// topology, splicing around missing hops via local recovery. It returns
+// the (possibly re-spliced) path, or ok=false when the contact is lost.
+//
+// Recovery splices can revisit nodes already on the rebuilt prefix — the
+// holder routes around the break through whatever its neighborhood table
+// offers, oblivious to where the message has been — so the final route is
+// compacted before it is returned: the stored path must be a simple source
+// route, and maintenance rule 4 must judge the contact by its loop-free
+// length.
+//
+// Message accounting: every surviving hop of the validation walk counts as
+// CatValidate; hops introduced by recovery splices count as CatRecovery
+// (both at their traveled, pre-compaction length — the transmissions
+// happened).
+func (m *Maintainer) validatePath(c *Contact) (path []NodeID, ok bool) {
+	p := m.p
+	old := c.Path
+	out := make([]NodeID, 1, len(old))
+	out[0] = old[0]
+	i := 0 // index in old of the node the validation message sits at
+	for i+1 < len(old) {
+		cur := out[len(out)-1]
+		next := old[i+1]
+		if p.net.Adjacent(cur, next) {
+			m.sendHop(manet.CatValidate)
+			out = append(out, next)
+			i++
+			continue
+		}
+		if p.cfg.DisableLocalRecovery {
+			m.stats.RecoveryFailures++
+			return nil, false
+		}
+		// Local recovery: look for the missing hop — and failing that, each
+		// subsequent node of the source path — in cur's neighborhood table.
+		recovered := false
+		for j := i + 1; j < len(old); j++ {
+			if !p.nb.Contains(cur, old[j]) {
+				continue
+			}
+			sub := p.nb.Route(cur, old[j])
+			if sub == nil {
+				continue
+			}
+			m.sendHops(manet.CatRecovery, len(sub)-1)
+			out = append(out, sub[1:]...)
+			i = j
+			m.stats.Recoveries++
+			recovered = true
+			break
+		}
+		if !recovered {
+			m.stats.RecoveryFailures++
+			return nil, false
+		}
+	}
+	return compactLoops(out), true
+}

@@ -1,0 +1,48 @@
+package card
+
+// compactLoops removes every cycle from a source route in place: whenever a
+// node reappears, the detour between its two occurrences is cut and the
+// walk continues from the first occurrence. The result keeps the original
+// endpoints, and every surviving hop is a hop of the input, so a hop-valid
+// input yields a hop-valid output on the same snapshot.
+//
+// Two producers need this. The PM walk has no loop memory ("forwards the
+// query to one of its randomly chosen neighbors"), so the accepted stack
+// may self-intersect; storing it verbatim inflates Contact.Hops() and gets
+// the contact wrongly bound-dropped at the next maintenance round. And
+// validatePath's recovery splices route around a missing hop through
+// whatever the holder's neighborhood table offers — which can revisit
+// nodes already on the rebuilt prefix, producing a self-intersecting
+// source route.
+//
+// Paths here are short (≤ MaxContactDist+1 nodes), so the quadratic scan
+// beats a map and allocates nothing.
+func compactLoops(path []NodeID) []NodeID {
+	out := path[:0]
+	for _, n := range path {
+		cut := false
+		for j, m := range out {
+			if m == n {
+				out = out[:j+1]
+				cut = true
+				break
+			}
+		}
+		if !cut {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// pathIsSimple reports whether no node appears twice on the route.
+func pathIsSimple(path []NodeID) bool {
+	for i, n := range path {
+		for _, m := range path[i+1:] {
+			if m == n {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,115 @@
+package card
+
+import (
+	"testing"
+	"testing/quick"
+
+	"card/internal/xrand"
+)
+
+func TestCompactLoops(t *testing.T) {
+	cases := []struct {
+		in, want []NodeID
+	}{
+		{nil, nil},
+		{[]NodeID{7}, []NodeID{7}},
+		{[]NodeID{1, 2, 3}, []NodeID{1, 2, 3}},
+		// One revisit: the detour 2-3 is cut.
+		{[]NodeID{1, 2, 3, 2, 4}, []NodeID{1, 2, 4}},
+		// Walk that returns to the source and leaves again.
+		{[]NodeID{1, 2, 1, 3}, []NodeID{1, 3}},
+		// Overlapping loops: each revisit cuts back to the surviving
+		// occurrence, and 2 (cut with the 2-3-1 detour) may legitimately
+		// reappear later.
+		{[]NodeID{0, 1, 2, 3, 1, 4, 2, 5}, []NodeID{0, 1, 4, 2, 5}},
+		// Path collapsing to its endpoint.
+		{[]NodeID{5, 6, 5}, []NodeID{5}},
+	}
+	for _, c := range cases {
+		in := append([]NodeID(nil), c.in...)
+		got := compactLoops(in)
+		if len(got) != len(c.want) {
+			t.Errorf("compactLoops(%v) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("compactLoops(%v) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// TestCompactLoopsProperties checks the three guarantees downstream code
+// relies on: the result is simple, keeps the endpoints, and uses only hops
+// of the input (so hop-validity is preserved).
+func TestCompactLoopsProperties(t *testing.T) {
+	f := func(seed uint64, lenRaw uint8) bool {
+		rng := xrand.New(seed)
+		n := 1 + int(lenRaw%20)
+		in := make([]NodeID, n)
+		for i := range in {
+			in[i] = NodeID(rng.Intn(8)) // small alphabet forces collisions
+		}
+		hops := map[[2]NodeID]bool{}
+		for i := 0; i+1 < len(in); i++ {
+			hops[[2]NodeID{in[i], in[i+1]}] = true
+		}
+		out := compactLoops(append([]NodeID(nil), in...))
+		if !pathIsSimple(out) {
+			return false
+		}
+		if out[0] != in[0] || out[len(out)-1] != in[n-1] {
+			return false
+		}
+		for i := 0; i+1 < len(out); i++ {
+			if !hops[[2]NodeID{out[i], out[i+1]}] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPathHygieneUnderMobility is the stored-path property test: across a
+// mobile run with all three methods, every contact path — as selected and
+// as re-validated/re-spliced by maintenance — is a simple source route
+// that is hop-adjacent under the snapshot its round validated against.
+func TestPathHygieneUnderMobility(t *testing.T) {
+	for _, method := range []Method{EM, PM1, PM2} {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			net := mobileNet(t, 50+uint64(method), 250, 50)
+			cfg := Config{R: 3, MaxContactDist: 16, NoC: 5, Method: method, ValidatePeriod: 1}
+			p := newProtocol(t, net, cfg, 60+uint64(method))
+			p.SelectAll(0)
+			check := func(tm float64) {
+				for u := 0; u < net.N(); u++ {
+					for _, c := range p.Table(NodeID(u)).Contacts() {
+						if !pathIsSimple(c.Path) {
+							t.Fatalf("t=%v node %d: stored path self-intersects: %v", tm, u, c.Path)
+						}
+						checkPathValid(t, net, c.Path)
+						if c.Path[0] != NodeID(u) || c.Path[len(c.Path)-1] != c.ID {
+							t.Fatalf("t=%v node %d: bad endpoints %v", tm, u, c.Path)
+						}
+					}
+				}
+			}
+			check(0)
+			for step := 1; step <= 8; step++ {
+				tm := float64(step)
+				net.RefreshAt(tm)
+				p.MaintainAll(tm)
+				check(tm)
+			}
+			if p.Stats().Recoveries == 0 {
+				t.Error("mobility triggered no recoveries; property not exercised")
+			}
+		})
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"card/internal/bitset"
 	"card/internal/manet"
 	"card/internal/neighborhood"
 	"card/internal/topology"
@@ -67,21 +66,28 @@ func (t *Table) removeAt(i int) {
 // share one protocol object (the simulator's bird's-eye view); per-node
 // state lives in the tables.
 //
-// A Protocol is single-goroutine, like the Network it runs on.
+// A Protocol's serial entry points (SelectContacts/SelectAll, Maintain/
+// MaintainAll, Query) are single-goroutine, like the Network they run on.
+// Concurrency happens through per-worker executors: [Querier] for the
+// read-only query fan-out, [Maintainer] for sharded selection/maintenance
+// rounds. All mutable round scratch lives in those executors; the Protocol
+// itself holds only the tables, the run-seed lineage and the aggregated
+// statistics.
 type Protocol struct {
 	cfg    Config
 	net    *manet.Network
 	nb     neighborhood.Provider
-	rng    *xrand.Rand
+	rng    *xrand.Rand // stream lineage only; rounds draw from (node, round) substreams
 	tables []*Table
 
-	// visited is the per-CSQ "this node has seen query q" marker, epoch
-	// stamped to avoid clearing between walks. DSQ queries use per-Querier
-	// scratch instead, so they never touch this.
-	visited    []uint64
-	visitGen   uint64
-	ineligible *bitset.Set // scratch for selection overlap predicate
+	// round numbers the selection/maintenance rounds for RNG stream
+	// derivation: round k gives node u the substream (u, k) of rng's
+	// lineage. Serial and sharded rounds allocate ids identically (one per
+	// round), which is what pins them bit-identical.
+	round uint64
 
+	// maint serves the serial SelectContacts/Maintain entry points.
+	maint *Maintainer
 	// querier serves the serial Protocol.Query entry point.
 	querier *Querier
 
@@ -109,6 +115,19 @@ type Stats struct {
 	BoundDrops int64
 }
 
+// add accumulates o into s; used when per-worker Maintainers flush their
+// local tallies into the protocol. Every field is a plain sum, so the
+// aggregate is independent of flush order.
+func (s *Stats) add(o Stats) {
+	s.CSQLaunched += o.CSQLaunched
+	s.CSQSucceeded += o.CSQSucceeded
+	s.ContactsSelected += o.ContactsSelected
+	s.ContactsLost += o.ContactsLost
+	s.Recoveries += o.Recoveries
+	s.RecoveryFailures += o.RecoveryFailures
+	s.BoundDrops += o.BoundDrops
+}
+
 // New creates a CARD protocol over net using the given neighborhood
 // provider. The provider's radius must equal cfg.R.
 func New(net *manet.Network, nb neighborhood.Provider, cfg Config, rng *xrand.Rand) (*Protocol, error) {
@@ -119,19 +138,30 @@ func New(net *manet.Network, nb neighborhood.Provider, cfg Config, rng *xrand.Ra
 		return nil, fmt.Errorf("card: neighborhood radius %d != config R %d", nb.R(), cfg.R)
 	}
 	p := &Protocol{
-		cfg:        cfg,
-		net:        net,
-		nb:         nb,
-		rng:        rng,
-		tables:     make([]*Table, net.N()),
-		visited:    make([]uint64, net.N()),
-		ineligible: bitset.New(net.N()),
+		cfg:    cfg,
+		net:    net,
+		nb:     nb,
+		rng:    rng,
+		tables: make([]*Table, net.N()),
 	}
 	for i := range p.tables {
 		p.tables[i] = &Table{owner: NodeID(i)}
 	}
+	p.maint = p.NewMaintainer()
 	p.querier = p.NewQuerier()
 	return p, nil
+}
+
+// NextRound allocates the next RNG round id. Every selection or
+// maintenance round — serial or sharded — consumes exactly one id, and
+// node u draws its round randomness from the substream (u, id), so equal
+// round sequences give equal results at any worker count. The engine's
+// round fan-out calls this once per round before sharding nodes across
+// Maintainers.
+func (p *Protocol) NextRound() uint64 {
+	r := p.round
+	p.round++
+	return r
 }
 
 // Config returns the active configuration (defaults filled).

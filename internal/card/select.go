@@ -1,102 +1,33 @@
 package card
 
-import (
-	"card/internal/manet"
-)
-
 // SelectContacts runs the contact-selection procedure of §III.C.1 for node
 // u at simulation time now: while the table holds fewer than NoC contacts,
 // send a Contact Selection Query (CSQ) through each edge node, one at a
 // time. It returns the number of contacts added.
 //
-// Each CSQ performs a random depth-first walk with backtracking beyond the
-// edge node, bounded to r hops from the source, until some node accepts
-// contact-hood under the configured method (PM1/PM2/EM) or the region is
-// exhausted.
-//
-// A walk that comes home empty visited everything it could reach within
-// its budget, but walks launched through other edge nodes still explore
-// different directions (path length is charged from the source through
-// that edge). The round therefore tolerates MaxFailedWalks empty walks
-// before giving up until the next maintenance round — which retries with
-// fresh randomness, mattering most for the probabilistic methods whose
-// coin flips may simply have failed (the paper's "lost opportunities").
+// SelectContacts is the serial entry point: it runs on the protocol's own
+// [Maintainer] (consuming one RNG round) and flushes statistics and
+// message tallies immediately. For concurrent selection rounds, create one
+// Maintainer per worker instead — see Maintainer.SelectNode and the
+// engine's round fan-out.
 func (p *Protocol) SelectContacts(u NodeID, now float64) int {
-	t := p.tables[u]
-	if t.Len() >= p.cfg.NoC {
-		return 0
-	}
-	edges := append([]NodeID(nil), p.nb.EdgeNodes(u)...)
-	p.rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
-	added, failures := 0, 0
-	for _, e := range edges {
-		if t.Len() >= p.cfg.NoC {
-			break
-		}
-		c, exhausted := p.runCSQ(u, e, now)
-		if c != nil {
-			t.add(c)
-			p.stats.ContactsSelected++
-			added++
-		}
-		if exhausted {
-			failures++
-			if p.cfg.MaxFailedWalks > 0 && failures >= p.cfg.MaxFailedWalks {
-				break
-			}
-		}
-	}
+	added := p.maint.SelectNode(u, now, p.NextRound())
+	p.maint.Flush()
 	return added
 }
 
-// SelectAll runs SelectContacts for every node, in id order.
+// SelectAll runs one selection round for every node, in id order. All
+// nodes share the round's RNG round id: node u draws from the substream
+// (u, round), which is what makes the engine's sharded rounds bit-identical
+// to this serial loop.
 func (p *Protocol) SelectAll(now float64) int {
+	round := p.NextRound()
 	total := 0
 	for i := 0; i < p.net.N(); i++ {
-		total += p.SelectContacts(NodeID(i), now)
+		total += p.maint.SelectNode(NodeID(i), now, round)
 	}
+	p.maint.Flush()
 	return total
-}
-
-// computeIneligible fills p.ineligible with every node that must refuse
-// contact-hood for source u.
-//
-// The paper phrases the test locally at the candidate X: "X checks if the
-// source lies within its neighborhood [and] if its neighborhood contains
-// any of the node IDs in the Contact_List [or, under EM, the Edge_List]".
-// Hop distance over an undirected snapshot is symmetric, so
-// (y in N(X)) == (X in N(y)); the union of N(source), N(contact_i) and —
-// for EM — N(edge_j) therefore contains exactly the candidates that would
-// refuse. Precomputing that union once per CSQ replaces O(|Contact_List| +
-// |Edge_List|) membership probes at every visited node with one bit test,
-// without changing the decision each node would make.
-func (p *Protocol) computeIneligible(u NodeID) {
-	set := p.ineligible
-	set.CopyFrom(p.nb.Set(u))
-	for _, c := range p.tables[u].contacts {
-		set.UnionWith(p.nb.Set(c.ID))
-	}
-	if p.cfg.Method == EM {
-		for _, e := range p.nb.EdgeNodes(u) {
-			set.UnionWith(p.nb.Set(e))
-		}
-	}
-}
-
-// accept decides whether node x, reached with CSQ hop count d, becomes a
-// contact for the current walk (§III.C.2).
-func (p *Protocol) accept(x NodeID, d int) bool {
-	if p.ineligible.Contains(int(x)) {
-		return false
-	}
-	switch p.cfg.Method {
-	case PM1:
-		return p.rng.Bool(acceptProb(d, p.cfg.R, p.cfg.MaxContactDist))
-	case PM2:
-		return p.rng.Bool(acceptProb(d, 2*p.cfg.R, p.cfg.MaxContactDist))
-	default: // EM: the edge-list exclusion is already in ineligible
-		return true
-	}
 }
 
 // acceptProb evaluates P = (d-lo)/(r-lo) clamped to [0,1]. When the band is
@@ -117,143 +48,4 @@ func acceptProb(d, lo, r int) float64 {
 		return 1
 	}
 	return pr
-}
-
-// runCSQ sends one Contact Selection Query from u through edge node e. It
-// returns the selected contact, or nil with exhausted=true when the walk
-// gave up (region saturated for EM; step budget burned for PM).
-//
-// The two walk disciplines deliberately differ, following §III.C.2:
-//
-//   - EM carries "the query and source IDs ... to prevent looping", i.e.
-//     nodes remember the query and refuse to take it twice — a clean
-//     depth-first traversal over distinct nodes that terminates once the
-//     r-hop region is exhausted.
-//   - PM has no such memory: each node "forwards the query to one of its
-//     randomly chosen neighbor (excluding the one from which CSQ was
-//     received)". The walk may revisit nodes (re-flipping the coin), its
-//     hop count d is the length of the path it has built, and it bounces
-//     off the d = r shell with backtracking. This wandering is exactly the
-//     "extra traffic ... due to backtracking, and lost opportunities when
-//     the probability fails" that Fig. 4 charges to PM; a per-query step
-//     budget (2N transmissions) bounds walks that would wander forever.
-//
-// Message accounting: the transit u→e and every forward walk hop count as
-// CatCSQ; every reverse hop (dead-end retreat, r-shell bounce, and the
-// failure report back to the source) counts as CatBacktrack; the success
-// reply returning the contact path counts as CatCSQ.
-func (p *Protocol) runCSQ(u, e NodeID, now float64) (c *Contact, exhausted bool) {
-	p.stats.CSQLaunched++
-	route := p.nb.Route(u, e)
-	if route == nil {
-		return nil, false // stale edge information (provider mid-convergence)
-	}
-	p.computeIneligible(u)
-	p.net.SendHops(manet.CatCSQ, len(route)-1)
-	if p.cfg.Method == EM {
-		return p.walkEM(route, now)
-	}
-	return p.walkPM(route, now)
-}
-
-// walkEM runs the edge method's loop-free depth-first walk.
-func (p *Protocol) walkEM(route []NodeID, now float64) (*Contact, bool) {
-	p.visitGen++
-	gen := p.visitGen
-	for _, n := range route {
-		p.visited[n] = gen
-	}
-	stack := append([]NodeID(nil), route...)
-	r := p.cfg.MaxContactDist
-	var cand []NodeID
-	for {
-		x := stack[len(stack)-1]
-		d := len(stack) - 1
-		cand = cand[:0]
-		if d < r {
-			for _, y := range p.net.Neighbors(x) {
-				if p.visited[y] != gen {
-					cand = append(cand, y)
-				}
-			}
-		}
-		if len(cand) == 0 {
-			// Dead end or depth limit: backtrack one hop. Walking back past
-			// the edge node means the whole region is exhausted — the
-			// failure report continues to the source.
-			p.net.SendHop(manet.CatBacktrack)
-			stack = stack[:len(stack)-1]
-			if len(stack) < len(route) {
-				p.net.SendHops(manet.CatBacktrack, len(stack)-1)
-				return nil, true
-			}
-			continue
-		}
-		y := cand[p.rng.Intn(len(cand))]
-		p.visited[y] = gen
-		stack = append(stack, y)
-		p.net.SendHop(manet.CatCSQ)
-		if p.accept(y, len(stack)-1) {
-			return p.acceptContact(stack, now), false
-		}
-	}
-}
-
-// walkPM runs the probabilistic methods' memoryless walk: forward to a
-// random neighbor other than the parent, bounce off the r-hop shell, and
-// give up when the per-query step budget is gone.
-func (p *Protocol) walkPM(route []NodeID, now float64) (*Contact, bool) {
-	stack := append([]NodeID(nil), route...)
-	r := p.cfg.MaxContactDist
-	budget := p.csqBudget()
-	var cand []NodeID
-	for budget > 0 {
-		x := stack[len(stack)-1]
-		d := len(stack) - 1
-		parent := stack[len(stack)-2] // route has >= 2 nodes, stack never shrinks below it
-		cand = cand[:0]
-		if d < r {
-			for _, y := range p.net.Neighbors(x) {
-				if y != parent {
-					cand = append(cand, y)
-				}
-			}
-		}
-		if len(cand) == 0 {
-			// r-shell bounce or dead end: backtrack one hop.
-			p.net.SendHop(manet.CatBacktrack)
-			budget--
-			stack = stack[:len(stack)-1]
-			if len(stack) < len(route) {
-				p.net.SendHops(manet.CatBacktrack, len(stack)-1)
-				return nil, true
-			}
-			continue
-		}
-		y := cand[p.rng.Intn(len(cand))]
-		stack = append(stack, y)
-		p.net.SendHop(manet.CatCSQ)
-		budget--
-		if p.accept(y, len(stack)-1) {
-			return p.acceptContact(stack, now), false
-		}
-	}
-	// Budget exhausted mid-walk: the query dies and the current holder
-	// reports failure back along the walk path.
-	p.net.SendHops(manet.CatBacktrack, len(stack)-1)
-	return nil, true
-}
-
-// csqBudget is the PM walk's transmission budget: twice the network size,
-// enough to cover the region several times over without letting a
-// pathological walk run unbounded.
-func (p *Protocol) csqBudget() int { return 2 * p.net.N() }
-
-// acceptContact finalizes a successful walk: the acceptor returns the
-// accumulated path to the source, which stores the contact.
-func (p *Protocol) acceptContact(stack []NodeID, now float64) *Contact {
-	path := append([]NodeID(nil), stack...)
-	p.net.SendHops(manet.CatCSQ, len(path)-1) // reply carrying the path
-	p.stats.CSQSucceeded++
-	return &Contact{ID: path[len(path)-1], Path: path, SelectedAt: now, LastValidated: now}
 }

@@ -48,6 +48,9 @@ func TestSelectEMInvariants(t *testing.T) {
 				t.Fatalf("node %d contact %d: bad path endpoints %v", u, c.ID, c.Path)
 			}
 			checkPathValid(t, net, c.Path)
+			if !pathIsSimple(c.Path) {
+				t.Fatalf("node %d contact %d: path self-intersects: %v", u, c.ID, c.Path)
+			}
 			// Walk length within (2R, r].
 			if c.Hops() <= 2*cfg.R || c.Hops() > cfg.MaxContactDist {
 				t.Fatalf("node %d contact %d: hops %d outside (2R, r]", u, c.ID, c.Hops())
@@ -94,6 +97,9 @@ func TestSelectPM1Invariants(t *testing.T) {
 		for _, c := range p.Table(src).Contacts() {
 			found++
 			checkPathValid(t, net, c.Path)
+			if !pathIsSimple(c.Path) {
+				t.Fatalf("PM1 stored path self-intersects: %v", c.Path)
+			}
 			if c.Hops() <= cfg.R || c.Hops() > cfg.MaxContactDist {
 				t.Fatalf("PM1 contact hops %d outside (R, r]", c.Hops())
 			}
@@ -115,8 +121,17 @@ func TestSelectPM2DistanceBand(t *testing.T) {
 	p.SelectAll(0)
 	for u := 0; u < net.N(); u++ {
 		for _, c := range p.Table(NodeID(u)).Contacts() {
-			if c.Hops() <= 2*cfg.R || c.Hops() > cfg.MaxContactDist {
-				t.Fatalf("PM2 contact walk length %d outside (2R, r]", c.Hops())
+			// The acceptance coin is flipped on the raw walk length (only
+			// > 2R under eq. 2), but the stored route is the compacted,
+			// loop-free path: guaranteed within (R, r] — the eligibility
+			// check proves true distance > R, and compaction only shrinks.
+			// A net length in (R, 2R] is the PM "lost opportunity" that
+			// maintenance rule 4 prunes at the next round.
+			if c.Hops() <= cfg.R || c.Hops() > cfg.MaxContactDist {
+				t.Fatalf("PM2 stored path length %d outside (R, r]", c.Hops())
+			}
+			if !pathIsSimple(c.Path) {
+				t.Fatalf("PM2 stored path self-intersects: %v", c.Path)
 			}
 		}
 	}
@@ -258,14 +273,24 @@ func TestQuickSelectInvariants(t *testing.T) {
 			return false
 		}
 		p.SelectAll(0)
-		lo := method.lowerBound(r1)
+		// The stored (loop-free) path length floor: EM's edge-list
+		// exclusion proves true distance > 2R, while the PM methods only
+		// prove > R — their raw walk cleared the method's band, but the
+		// compacted route may net shorter (rule 4 prunes it next round).
+		lo := r1 + 1
+		if method == EM {
+			lo = 2*r1 + 1
+		}
 		for u := 0; u < n; u++ {
 			tab := p.Table(NodeID(u))
 			if tab.Len() > noc {
 				return false
 			}
 			for _, c := range tab.Contacts() {
-				if c.Hops() <= lo-1 || c.Hops() > rr {
+				if c.Hops() < lo || c.Hops() > rr {
+					return false
+				}
+				if !pathIsSimple(c.Path) {
 					return false
 				}
 				if c.Path[0] != NodeID(u) || c.Path[len(c.Path)-1] != c.ID {

@@ -2,7 +2,6 @@ package engine
 
 import (
 	proto "card/internal/card"
-	"card/internal/neighborhood"
 	"card/internal/par"
 )
 
@@ -30,12 +29,7 @@ func (e *Engine) BatchQuery(pairs []Pair) []proto.QueryResult {
 	if len(pairs) == 0 {
 		return out
 	}
-	// Materialize lazily-computed neighborhood views up front: afterwards
-	// the provider is read-only until the next refresh, so workers share it
-	// without locks.
-	if w, ok := e.nb.(neighborhood.Warmer); ok {
-		w.WarmAll()
-	}
+	e.warmProvider()
 	// One Querier per worker: private visited scratch, private tallies.
 	// The worker-count bound is read once and passed explicitly so a
 	// concurrent GOMAXPROCS change cannot desync ids from the slice.

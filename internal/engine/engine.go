@@ -29,6 +29,16 @@
 // before the fan-out, and tallies are flushed serially after the join —
 // results and accounting are bit-identical to the sequential loop, at
 // GOMAXPROCS-way speedup.
+//
+// # Parallel rounds
+//
+// The write-side hot loop — network-wide contact selection and
+// maintenance — is sharded the same way (see maintain.go): one
+// card.Maintainer per worker, per-node counter-based RNG streams keyed by
+// (nodeID, round), serial flush in worker order. Node u's round touches
+// only u's own table, so the fan-out is race-free and bit-identical to
+// the serial id-order loop at any GOMAXPROCS; SetMaintainWorkers bounds
+// or disables it.
 package engine
 
 import (
@@ -163,6 +173,13 @@ type Engine struct {
 	// rounds is the number of maintenance boundaries fired; boundary k
 	// (1-based) fires at exactly float64(k) * cfg.ValidatePeriod.
 	rounds int64
+	// maintWorkers bounds the maintenance/selection fan-out; see
+	// SetMaintainWorkers. 0 = up to GOMAXPROCS, 1 = serial.
+	maintWorkers int
+	// maintPool caches the per-worker Maintainers across rounds (their
+	// O(N) scratch would otherwise be reallocated every ValidatePeriod);
+	// grown on demand in workerMaintainers.
+	maintPool []*proto.Maintainer
 }
 
 // New builds a network per nc and a CARD engine per cfg.
@@ -243,7 +260,7 @@ func (e *Engine) maintainTick(now float64) {
 		e.dsdv.DetectBreaks(now)
 		e.dsdv.Round(now)
 	}
-	e.prot.MaintainAll(now)
+	e.maintainRound(now)
 	e.rounds++
 	e.scheduleMaintenance()
 }
@@ -296,12 +313,15 @@ func (e *Engine) Neighborhood() neighborhood.Provider { return e.nb }
 // equal timestamps beyond the queue's FIFO tie-break.
 func (e *Engine) Scheduler() *eventq.Queue { return e.q }
 
-// SelectContacts runs initial contact selection for every node.
-func (e *Engine) SelectContacts() int { return e.prot.SelectAll(e.Now()) }
+// SelectContacts runs initial contact selection for every node, sharded
+// across the maintenance worker pool (see SetMaintainWorkers); results are
+// bit-identical to the serial id-order loop.
+func (e *Engine) SelectContacts() int { return e.selectRound(e.Now()) }
 
 // Maintain forces one maintenance round for every node now (outside the
-// periodic schedule; the round counter is not advanced).
-func (e *Engine) Maintain() { e.prot.MaintainAll(e.Now()) }
+// periodic schedule; the boundary counter is not advanced). Like the
+// scheduled rounds, it is sharded across the maintenance worker pool.
+func (e *Engine) Maintain() { e.maintainRound(e.Now()) }
 
 // Query runs a CARD destination search from src for target.
 func (e *Engine) Query(src, target NodeID) proto.QueryResult {

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	proto "card/internal/card"
+	"card/internal/neighborhood"
+	"card/internal/par"
+)
+
+// The round fan-out parallelizes the write-side hot loop — network-wide
+// contact selection and maintenance — with the same recipe BatchQuery uses
+// for the read side, plus one extra ingredient for the writes:
+//
+//  1. neighborhood views are warmed before the fan-out, so provider reads
+//     are pure;
+//  2. each worker owns a card.Maintainer (private visited/overlap scratch,
+//     private RNG, private stats and message tallies), flushed serially in
+//     worker order after the join;
+//  3. node u draws its round randomness from the counter-based substream
+//     (u, round) of the run seed — never from a shared generator — so its
+//     coin flips do not depend on which worker runs it or in what order.
+//
+// Node u's round reads and writes only u's own contact table, so sharding
+// nodes across workers is race-free, and (3) makes it bit-identical to the
+// serial id-order loop at any GOMAXPROCS. TestMaintainParallelEquivalence
+// pins that contract.
+
+// SetMaintainWorkers bounds the worker fan-out of maintenance and
+// selection rounds: 0 (the default) uses up to GOMAXPROCS workers, 1
+// forces the serial reference path, n > 1 caps the pool at n. Results,
+// statistics and message accounting are bit-identical at every setting.
+// Not safe to call concurrently with Advance.
+func (e *Engine) SetMaintainWorkers(n int) { e.maintWorkers = n }
+
+// roundWorkers resolves the worker bound for a round over n nodes.
+func (e *Engine) roundWorkers(n int) int {
+	w := e.maintWorkers
+	if w <= 0 {
+		w = par.Limit()
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// warmProvider materializes lazily-computed neighborhood views up front:
+// afterwards the provider is read-only until the next refresh or substrate
+// round, so workers share it without locks.
+func (e *Engine) warmProvider() {
+	if w, ok := e.nb.(neighborhood.Warmer); ok {
+		w.WarmAll()
+	}
+}
+
+// workerMaintainers returns the cached per-worker Maintainers, growing
+// the pool to the requested bound. Maintainers are reusable across
+// rounds: the RNG is reseeded per (node, round) and Flush zeroes the
+// tallies, so caching them avoids reallocating O(N) scratch every
+// ValidatePeriod. Must be called before the fan-out starts (growing the
+// pool inside workers would race).
+func (e *Engine) workerMaintainers(workers int) []*proto.Maintainer {
+	for len(e.maintPool) < workers {
+		e.maintPool = append(e.maintPool, e.prot.NewMaintainer())
+	}
+	return e.maintPool[:workers]
+}
+
+// maintainRound runs one network-wide maintenance round, sharded across
+// the worker pool (or serially when the bound says so).
+func (e *Engine) maintainRound(now float64) {
+	n := e.net.N()
+	workers := e.roundWorkers(n)
+	if workers <= 1 {
+		e.prot.MaintainAll(now)
+		return
+	}
+	e.warmProvider()
+	round := e.prot.NextRound()
+	ms := e.workerMaintainers(workers)
+	par.WorkersN(workers, n, func(worker, i int) {
+		ms[worker].MaintainNode(NodeID(i), now, round)
+	})
+	flushAll(ms)
+}
+
+// selectRound runs one network-wide selection round, sharded like
+// maintainRound, and returns the number of contacts added.
+func (e *Engine) selectRound(now float64) int {
+	n := e.net.N()
+	workers := e.roundWorkers(n)
+	if workers <= 1 {
+		return e.prot.SelectAll(now)
+	}
+	e.warmProvider()
+	round := e.prot.NextRound()
+	ms := e.workerMaintainers(workers)
+	added := make([]int, n)
+	par.WorkersN(workers, n, func(worker, i int) {
+		added[i] = ms[worker].SelectNode(NodeID(i), now, round)
+	})
+	flushAll(ms)
+	total := 0
+	for _, a := range added {
+		total += a
+	}
+	return total
+}
+
+// flushAll hands the workers' local stats and message tallies to the
+// protocol serially, in worker order: the shared recorder sees one
+// deterministic sum per category, whatever the interleaving was.
+func flushAll(ms []*proto.Maintainer) {
+	for _, m := range ms {
+		m.Flush()
+	}
+}

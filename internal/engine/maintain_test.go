@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	proto "card/internal/card"
+)
+
+// maintSnapshot captures everything the equivalence contract covers:
+// every node's contact table (ids, full paths, timestamps), the protocol
+// statistics, and the per-category message accounting.
+type maintSnapshot struct {
+	tables [][]proto.Contact
+	stats  proto.Stats
+	msgs   MessageCounts
+	added  int
+	reach  float64
+}
+
+// runMaintTrace drives a mobile scenario through initial selection plus
+// several scheduled maintenance rounds with the given worker bound and
+// GOMAXPROCS, and snapshots the resulting protocol state.
+func runMaintTrace(t *testing.T, proactive ProactiveKind, workers, procs int) maintSnapshot {
+	t.Helper()
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+	nc := testNet(400)
+	nc.Mobility = RandomWaypoint
+	nc.MinSpeed, nc.MaxSpeed, nc.Pause = 1, 15, 3
+	nc.Proactive = proactive
+	cfg := testCfg() // ValidatePeriod 2
+	e := newEngine(t, nc, cfg)
+	e.SetMaintainWorkers(workers)
+	s := maintSnapshot{added: e.SelectContacts()}
+	e.Advance(8) // four maintenance rounds under mobility
+	p := e.Protocol()
+	s.tables = make([][]proto.Contact, e.Nodes())
+	for u := 0; u < e.Nodes(); u++ {
+		for _, c := range p.Table(NodeID(u)).Contacts() {
+			cp := *c
+			cp.Path = append([]NodeID(nil), c.Path...)
+			s.tables[u] = append(s.tables[u], cp)
+		}
+	}
+	s.stats = e.Stats()
+	s.msgs = e.Messages()
+	s.reach = e.MeanReachability(1)
+	return s
+}
+
+// TestMaintainParallelEquivalence pins the round fan-out contract:
+// bit-identical contact tables, protocol statistics and recorder totals
+// between the serial maintenance path and the sharded one, across a
+// mobility trace, at GOMAXPROCS 1 and 4 and several worker bounds. Run
+// with -race to validate the sharding (CI does).
+func TestMaintainParallelEquivalence(t *testing.T) {
+	base := runMaintTrace(t, OracleView, 1, 1) // serial reference at GOMAXPROCS=1
+	cases := []struct {
+		name           string
+		workers, procs int
+	}{
+		{"serial-procs4", 1, 4},
+		{"workers4-procs1", 4, 1},
+		{"workers4-procs4", 4, 4},
+		{"auto-procs4", 0, 4},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			got := runMaintTrace(t, OracleView, c.workers, c.procs)
+			if got.added != base.added {
+				t.Errorf("initial selection added %d contacts, serial added %d", got.added, base.added)
+			}
+			if got.stats != base.stats {
+				t.Errorf("stats diverge:\n got  %+v\n want %+v", got.stats, base.stats)
+			}
+			if got.msgs != base.msgs {
+				t.Errorf("message totals diverge:\n got  %+v\n want %+v", got.msgs, base.msgs)
+			}
+			if got.reach != base.reach {
+				t.Errorf("reachability diverges: %v vs %v", got.reach, base.reach)
+			}
+			for u := range base.tables {
+				if !reflect.DeepEqual(got.tables[u], base.tables[u]) {
+					t.Fatalf("node %d contact table diverges:\n got  %+v\n want %+v",
+						u, got.tables[u], base.tables[u])
+				}
+			}
+		})
+	}
+}
+
+// TestMaintainParallelEquivalenceDSDV repeats the contract over the DSDV
+// substrate, whose provider facade reads live protocol tables (warmed
+// before each fan-out).
+func TestMaintainParallelEquivalenceDSDV(t *testing.T) {
+	base := runMaintTrace(t, DSDVProtocol, 1, 4)
+	got := runMaintTrace(t, DSDVProtocol, 4, 4)
+	if got.stats != base.stats {
+		t.Errorf("stats diverge:\n got  %+v\n want %+v", got.stats, base.stats)
+	}
+	if got.msgs != base.msgs {
+		t.Errorf("message totals diverge:\n got  %+v\n want %+v", got.msgs, base.msgs)
+	}
+	for u := range base.tables {
+		if !reflect.DeepEqual(got.tables[u], base.tables[u]) {
+			t.Fatalf("node %d contact table diverges", u)
+		}
+	}
+}
+
+// TestMaintainRoundIdsSharedWithSerial checks that forced rounds through
+// the public entry points allocate RNG round ids exactly like the serial
+// protocol loop: interleaving Engine.Maintain with direct protocol rounds
+// on a twin engine stays in lockstep.
+func TestMaintainRoundIdsSharedWithSerial(t *testing.T) {
+	build := func() *Engine {
+		nc := testNet(200)
+		e := newEngine(t, nc, testCfg())
+		return e
+	}
+	a, b := build(), build()
+	a.SetMaintainWorkers(4)
+	b.SetMaintainWorkers(1)
+	a.SelectContacts()
+	b.SelectContacts()
+	for i := 0; i < 3; i++ {
+		a.Maintain()
+		b.Maintain()
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverge after interleaved forced rounds:\n a %+v\n b %+v", a.Stats(), b.Stats())
+	}
+	if a.Messages() != b.Messages() {
+		t.Errorf("accounting diverges:\n a %+v\n b %+v", a.Messages(), b.Messages())
+	}
+}

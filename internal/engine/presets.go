@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	proto "card/internal/card"
 )
@@ -73,7 +74,25 @@ var builtinPresets = []Preset{
 		Protocol: proto.Config{R: 2, MaxContactDist: 10, NoC: 8, Depth: 3, ValidatePeriod: 2},
 		Horizon:  30,
 	},
+	{
+		// Density-matched to citywide-rwp-5k (~5.6e-4 nodes/m²): the
+		// headroom scenario for the parallel maintenance rounds, double the
+		// node count the serial write loop was tuned on.
+		Name:        "citywide-rwp-10k",
+		Description: "10000 vehicles over 4200x4200 m, 100 m radio — parallel-maintenance headroom",
+		Net: NetworkConfig{
+			Nodes: 10000, Width: 4200, Height: 4200, TxRange: 100,
+			Mobility: RandomWaypoint, MinSpeed: 1, MaxSpeed: 19, Pause: 10, Seed: 1,
+		},
+		Protocol: proto.Config{R: 2, MaxContactDist: 10, NoC: 8, Depth: 3, ValidatePeriod: 2},
+		Horizon:  30,
+	},
 }
+
+// presetMu guards presetIndex: experiments and tests register workloads
+// from whatever goroutine builds them, and the parallel experiment cells
+// look presets up concurrently.
+var presetMu sync.RWMutex
 
 var presetIndex = func() map[string]Preset {
 	m := make(map[string]Preset, len(builtinPresets))
@@ -83,8 +102,21 @@ var presetIndex = func() map[string]Preset {
 	return m
 }()
 
+// builtinPreset reports whether name is one of the compiled-in workloads,
+// which Register refuses to replace.
+func builtinPreset(name string) bool {
+	for _, p := range builtinPresets {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
 // Presets returns all registered presets sorted by name.
 func Presets() []Preset {
+	presetMu.RLock()
+	defer presetMu.RUnlock()
 	out := make([]Preset, 0, len(presetIndex))
 	for _, p := range presetIndex {
 		out = append(out, p)
@@ -95,6 +127,8 @@ func Presets() []Preset {
 
 // LookupPreset returns the preset registered under name.
 func LookupPreset(name string) (Preset, error) {
+	presetMu.RLock()
+	defer presetMu.RUnlock()
 	p, ok := presetIndex[name]
 	if !ok {
 		names := make([]string, 0, len(presetIndex))
@@ -107,11 +141,20 @@ func LookupPreset(name string) (Preset, error) {
 	return p, nil
 }
 
-// Register adds (or replaces) a preset in the registry. Not safe for
-// concurrent use; register during initialization.
-func Register(p Preset) {
+// Register adds a preset to the registry, replacing any previously
+// registered preset of the same name. It errors — rather than silently
+// replacing — when the name collides with a built-in workload, so a
+// benchmark baseline can never be redefined out from under a consumer.
+// Safe for concurrent use.
+func Register(p Preset) error {
 	if p.Name == "" {
-		panic("engine: preset without a name")
+		return fmt.Errorf("engine: preset without a name")
 	}
+	if builtinPreset(p.Name) {
+		return fmt.Errorf("engine: preset %q is built in and cannot be replaced", p.Name)
+	}
+	presetMu.Lock()
+	defer presetMu.Unlock()
 	presetIndex[p.Name] = p
+	return nil
 }

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRegisterRejectsBuiltinReuse(t *testing.T) {
+	for _, name := range []string{"citywide-rwp-5k", "dense-sensor-field"} {
+		if err := Register(Preset{Name: name}); err == nil {
+			t.Errorf("Register(%q) replaced a built-in preset without error", name)
+		}
+	}
+	// The built-in must be untouched.
+	p, err := LookupPreset("citywide-rwp-5k")
+	if err != nil || p.Net.Nodes != 5000 {
+		t.Errorf("built-in preset damaged: %+v, %v", p, err)
+	}
+	if err := Register(Preset{Name: ""}); err == nil {
+		t.Error("Register accepted a nameless preset")
+	}
+}
+
+func TestRegisterConcurrent(t *testing.T) {
+	// Concurrent registration, lookup and listing must be race-free (run
+	// with -race) and every registered preset must land.
+	const workers, each = 8, 25
+	t.Cleanup(func() { // drop the test presets so other tests' Presets() sweeps stay lean
+		presetMu.Lock()
+		defer presetMu.Unlock()
+		for name := range presetIndex {
+			if !builtinPreset(name) {
+				delete(presetIndex, name)
+			}
+		}
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				name := fmt.Sprintf("test-preset-%d-%d", w, i)
+				if err := Register(Preset{Name: name, Net: testNet(50), Protocol: testCfg()}); err != nil {
+					t.Errorf("Register(%q): %v", name, err)
+				}
+				Presets()
+				if _, err := LookupPreset(name); err != nil {
+					t.Errorf("LookupPreset(%q): %v", name, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(Presets()); got < workers*each+5 {
+		t.Errorf("registry holds %d presets, want >= %d", got, workers*each+5)
+	}
+}
+
+func TestBuiltin10kPresetDensityMatches5k(t *testing.T) {
+	p5, err := LookupPreset("citywide-rwp-5k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p10, err := LookupPreset("citywide-rwp-10k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d5 := float64(p5.Net.Nodes) / (p5.Net.Width * p5.Net.Height)
+	d10 := float64(p10.Net.Nodes) / (p10.Net.Width * p10.Net.Height)
+	if ratio := d10 / d5; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("10k preset density off by %.2fx from the 5k preset", ratio)
+	}
+	if p10.Net.Nodes != 10000 {
+		t.Errorf("10k preset has %d nodes", p10.Net.Nodes)
+	}
+}

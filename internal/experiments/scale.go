@@ -21,7 +21,7 @@ func RunScale(o Options) *Table {
 	o.fill()
 	tab := NewTable(
 		fmt.Sprintf("Engine presets under batched query load (scale %g, %d seed(s))", o.Scale, o.Seeds),
-		"preset", "nodes", "degree", "reach-D1 %", "found %", "msgs/query", "sim-s", "wall-ms",
+		"preset", "nodes", "degree", "reach-D1 %", "found %", "msgs/query", "sim-s", "advance-ms", "wall-ms",
 	)
 	const queries = 500
 	for _, p := range engine.Presets() {
@@ -37,7 +37,7 @@ func RunScale(o Options) *Table {
 		}
 		var (
 			degree, reach, foundPct, msgsPerQ float64
-			wall                              time.Duration
+			advance, wall                     time.Duration
 		)
 		results := make([]scaleCell, o.Seeds)
 		Parallel(o.Seeds, func(i int) {
@@ -48,18 +48,25 @@ func RunScale(o Options) *Table {
 			reach += r.reach
 			foundPct += r.foundPct
 			msgsPerQ += r.msgsPerQ
+			advance += r.advance
 			wall += r.wall
 		}
 		n := float64(o.Seeds)
 		tab.Add(p.Name, nc.Nodes, degree/n, reach/n, foundPct/n, msgsPerQ/n,
-			p.Horizon, float64((wall / time.Duration(o.Seeds)).Milliseconds()))
+			p.Horizon,
+			float64((advance / time.Duration(o.Seeds)).Milliseconds()),
+			float64((wall / time.Duration(o.Seeds)).Milliseconds()))
 	}
 	return tab
 }
 
 type scaleCell struct {
 	degree, reach, foundPct, msgsPerQ float64
-	wall                              time.Duration
+	// advance is the wall-clock spent inside Engine.Advance — mobility,
+	// topology refreshes and the (sharded) maintenance rounds; reported
+	// separately so the parallel-maintenance speedup is visible per preset.
+	advance time.Duration
+	wall    time.Duration
 }
 
 func runScaleCell(nc engine.NetworkConfig, p engine.Preset, seed uint64, queries int) scaleCell {
@@ -71,8 +78,11 @@ func runScaleCell(nc engine.NetworkConfig, p engine.Preset, seed uint64, queries
 		panic(fmt.Sprintf("experiments: preset %s: %v", p.Name, err))
 	}
 	e.SelectContacts()
+	var advance time.Duration
 	if p.Horizon > 0 {
+		t0 := time.Now()
 		e.Advance(p.Horizon)
+		advance = time.Since(t0)
 	}
 	pairs := e.RandomPairs(queries, seed^0xa5a5a5a5)
 	res := e.BatchQuery(pairs)
@@ -84,7 +94,7 @@ func runScaleCell(nc engine.NetworkConfig, p engine.Preset, seed uint64, queries
 		}
 		msgs += r.Messages
 	}
-	c := scaleCell{wall: time.Since(start)}
+	c := scaleCell{advance: advance, wall: time.Since(start)}
 	g := e.Network().Graph()
 	c.degree = 2 * float64(g.Links()) / float64(g.N())
 	c.reach = e.MeanReachability(1)

@@ -56,6 +56,20 @@ func (k Counters) Total() int64 {
 	return s
 }
 
+// AddTo adds k's tallies to r, walking categories in declaration order.
+// This is the flush half of the local-tally recipe used by the parallel
+// round fan-outs (engine.BatchQuery, the maintenance pool): workers
+// accumulate into a private Counters while running, then flush serially —
+// in worker order, after the join — so the shared recorder sees one
+// deterministic sum per category no matter how the work interleaved.
+func (k Counters) AddTo(r Recorder) {
+	for i, v := range k.c {
+		if v != 0 {
+			r.Record(Category(i), v)
+		}
+	}
+}
+
 // DiffSince returns per-category counts accumulated since the snapshot.
 func (k Counters) DiffSince(prev Counters) Counters {
 	var d Counters

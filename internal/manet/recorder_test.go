@@ -41,6 +41,35 @@ func TestAtomicCountersConcurrent(t *testing.T) {
 	}
 }
 
+func TestCountersAddTo(t *testing.T) {
+	var local Counters
+	local.Add(CatCSQ, 3)
+	local.Add(CatBacktrack, 5)
+	local.Add(CatValidate, 0) // zero categories must not Record
+
+	var sink Counters
+	sink.Add(CatCSQ, 1)
+	local.AddTo(&sink)
+	if got := sink.Get(CatCSQ); got != 4 {
+		t.Errorf("CatCSQ = %d, want 4", got)
+	}
+	if got := sink.Get(CatBacktrack); got != 5 {
+		t.Errorf("CatBacktrack = %d, want 5", got)
+	}
+	if got := sink.Total(); got != 9 {
+		t.Errorf("Total = %d, want 9", got)
+	}
+
+	// Flushing the same tallies from several "workers" into an atomic sink
+	// sums exactly, in any order.
+	a := NewAtomicCounters()
+	local.AddTo(a)
+	local.AddTo(a)
+	if got := a.Totals().Get(CatCSQ); got != 6 {
+		t.Errorf("atomic CatCSQ = %d, want 6", got)
+	}
+}
+
 func TestSetRecorderSwaps(t *testing.T) {
 	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 20, Y: 0}, {X: 30, Y: 0}}
 	n := staticNet(t, pts, 15)

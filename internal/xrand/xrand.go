@@ -32,14 +32,28 @@ func splitMix64(state *uint64) uint64 {
 // Rand is a deterministic generator. It is NOT safe for concurrent use; give
 // each goroutine (each simulation run) its own Rand, derived via Derive.
 type Rand struct {
-	s       [4]uint64
-	lineage uint64 // the construction seed; immutable, used by Derive
+	s [4]uint64
+	// lineage is the seed the current state was initialized from — set by
+	// New, updated by Reseed — and is what Derive and StreamSeed split
+	// substreams from, independent of how much output has been drawn.
+	lineage uint64
 }
 
 // New returns a generator seeded from seed. Distinct seeds yield
 // uncorrelated streams (seed expansion via SplitMix64).
 func New(seed uint64) *Rand {
-	r := &Rand{lineage: seed}
+	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed re-initializes r in place to the exact state New(seed) produces,
+// without allocating. It exists for consumers that draw from a fresh
+// counter-based stream per work item (e.g. one stream per (node, round) in
+// the protocol's maintenance fan-out) and want to reuse one Rand per
+// worker instead of allocating a generator per item.
+func (r *Rand) Reseed(seed uint64) {
+	r.lineage = seed
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitMix64(&sm)
@@ -49,7 +63,33 @@ func New(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
+}
+
+// StreamSeed derives the seed of the counter-based substream (a, b) of r's
+// lineage: a SplitMix64 absorption chain over (lineage, a, b). The result
+// depends only on the construction seed and the two counters — never on
+// how much output has been drawn from r — so any party holding the root
+// generator can name the same stream. Distinct (a, b) pairs (including
+// swapped ones) yield uncorrelated streams.
+//
+// This is the determinism backbone of the parallel maintenance rounds:
+// every node draws from the stream (nodeID, round), so its randomness is
+// identical whether the round runs serially in id order or sharded across
+// any number of workers in any interleaving.
+func (r *Rand) StreamSeed(a, b uint64) uint64 {
+	s := r.lineage
+	h := splitMix64(&s)
+	s = h ^ (a+1)*0xd1342543de82ef95
+	h = splitMix64(&s)
+	s = h ^ (b+1)*0x9e3779b97f4a7c15
+	return splitMix64(&s)
+}
+
+// SplitStream returns a new generator seeded on substream (a, b); see
+// StreamSeed. Prefer Reseed(r.StreamSeed(a, b)) on a reused generator in
+// hot loops.
+func (r *Rand) SplitStream(a, b uint64) *Rand {
+	return New(r.StreamSeed(a, b))
 }
 
 // Derive returns a new generator whose stream is a deterministic function of

@@ -56,6 +56,77 @@ func TestDeriveIndependence(t *testing.T) {
 	}
 }
 
+func TestReseedMatchesNew(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 50; i++ {
+		r.Uint64() // scramble state
+	}
+	r.Reseed(901)
+	fresh := New(901)
+	for i := 0; i < 100; i++ {
+		if r.Uint64() != fresh.Uint64() {
+			t.Fatalf("Reseed(901) diverged from New(901) at draw %d", i)
+		}
+	}
+	// Lineage must follow the reseed so stream derivation matches too.
+	if r.StreamSeed(4, 9) != fresh.StreamSeed(4, 9) {
+		t.Error("StreamSeed after Reseed differs from fresh generator")
+	}
+}
+
+func TestStreamSeedStable(t *testing.T) {
+	// The substream seed depends only on (lineage, a, b), never on draws.
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 17; i++ {
+		b.Uint64()
+	}
+	for node := uint64(0); node < 8; node++ {
+		for round := uint64(0); round < 8; round++ {
+			if a.StreamSeed(node, round) != b.StreamSeed(node, round) {
+				t.Fatalf("stream (%d,%d) depends on parent consumption", node, round)
+			}
+		}
+	}
+}
+
+func TestStreamSeedDistinct(t *testing.T) {
+	// All (a, b) pairs over a small grid — plus the swapped pairs — must
+	// give distinct seeds; a collision would correlate two nodes' rounds.
+	root := New(7)
+	seen := map[uint64][2]uint64{}
+	for a := uint64(0); a < 40; a++ {
+		for b := uint64(0); b < 40; b++ {
+			s := root.StreamSeed(a, b)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("streams (%d,%d) and (%d,%d) collide", a, b, prev[0], prev[1])
+			}
+			seen[s] = [2]uint64{a, b}
+		}
+	}
+	if root.StreamSeed(1, 2) == root.StreamSeed(2, 1) {
+		t.Error("StreamSeed is symmetric in (a, b)")
+	}
+}
+
+func TestStreamSeedVariesWithLineage(t *testing.T) {
+	if New(1).StreamSeed(3, 4) == New(2).StreamSeed(3, 4) {
+		t.Error("different run seeds share substream (3,4)")
+	}
+}
+
+func TestSplitStreamMatchesReseed(t *testing.T) {
+	root := New(55)
+	a := root.SplitStream(6, 2)
+	b := New(0)
+	b.Reseed(root.StreamSeed(6, 2))
+	for i := 0; i < 20; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("SplitStream and Reseed(StreamSeed) disagree")
+		}
+	}
+}
+
 func TestIntnRange(t *testing.T) {
 	r := New(99)
 	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
