@@ -351,6 +351,32 @@ func benchMaintain5k(b *testing.B, workers int) {
 func BenchmarkMaintain5kSerial(b *testing.B)   { benchMaintain5k(b, 1) }
 func BenchmarkMaintain5kParallel(b *testing.B) { benchMaintain5k(b, 0) }
 
+// benchScenarioAdvance measures one ValidatePeriod of engine time —
+// mobility stepping, (masked) topology refresh, churn expiry and the
+// maintenance round — on a named preset: the end-to-end cost of the
+// scenario-diversity workloads. CI records the three variants below in
+// BENCH_3.json.
+func benchScenarioAdvance(b *testing.B, preset string) {
+	sim, err := NewPresetSimulation(preset, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.SelectContacts()
+	period := sim.Config().ValidatePeriod
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Advance(period)
+	}
+}
+
+// BenchmarkAdvanceGM5k is Gauss–Markov drift at the 5k scale;
+// BenchmarkAdvanceGroups1k is reference-point group mobility;
+// BenchmarkAdvanceChurn2k is RWP plus node churn (masked incremental
+// topology + contact expiry on every refresh).
+func BenchmarkAdvanceGM5k(b *testing.B)     { benchScenarioAdvance(b, "citywide-gm-5k") }
+func BenchmarkAdvanceGroups1k(b *testing.B) { benchScenarioAdvance(b, "rescue-groups-1k") }
+func BenchmarkAdvanceChurn2k(b *testing.B)  { benchScenarioAdvance(b, "churn-2k") }
+
 // BenchmarkMaintenanceRound measures a network-wide validation round under
 // mobility.
 func BenchmarkMaintenanceRound(b *testing.B) {

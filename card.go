@@ -49,6 +49,18 @@ const (
 	Static = engine.Static
 	// RandomWaypoint is the paper's mobility model.
 	RandomWaypoint = engine.RandomWaypoint
+	// RandomWalk moves nodes at constant speed with periodic random
+	// direction changes, reflecting off the boundary.
+	RandomWalk = engine.RandomWalk
+	// GaussMarkov runs autoregressive speed/direction processes with
+	// tunable memory (NetworkConfig.GMAlpha) — smooth correlated motion.
+	GaussMarkov = engine.GaussMarkov
+	// GroupMobility runs reference-point group mobility: groups follow a
+	// shared waypoint leader with bounded per-member jitter.
+	GroupMobility = engine.GroupMobility
+	// TraceReplay replays an ns-2 setdest movement trace
+	// (NetworkConfig.TracePath) with piecewise-linear interpolation.
+	TraceReplay = engine.TraceReplay
 )
 
 // ProactiveKind selects the neighborhood substrate implementation.
@@ -138,6 +150,11 @@ func (s *Simulation) Engine() *engine.Engine { return s.e }
 
 // Nodes returns the network size.
 func (s *Simulation) Nodes() int { return s.e.Nodes() }
+
+// UpNodes returns how many nodes are up in the current snapshot — equal
+// to Nodes unless the scenario runs node churn (NetworkConfig.ChurnMeanUp
+// / ChurnMeanDown).
+func (s *Simulation) UpNodes() int { return s.e.UpNodes() }
 
 // Now returns the current simulation time in seconds.
 func (s *Simulation) Now() float64 { return s.e.Now() }

@@ -12,6 +12,8 @@
 //	cardsim -presets                  # list workload presets
 //	cardsim -preset citywide-rwp-1k   # run one preset end to end
 //	cardsim -preset sparse-rescue -queries 1000 -horizon 30 -topology naive
+//	cardsim -preset citywide-rwp-1k -churn 60,15   # add node churn
+//	cardsim -trace movements.tcl -tx 100 -horizon 60   # replay an ns-2 trace
 //
 // Experiment ids match the per-experiment index in DESIGN.md.
 package main
@@ -20,8 +22,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	proto "card/internal/card"
 	"card/internal/engine"
 	"card/internal/experiments"
 )
@@ -37,6 +42,9 @@ func main() {
 
 		presets  = flag.Bool("presets", false, "list workload presets and exit")
 		preset   = flag.String("preset", "", "run one workload preset end to end")
+		trace    = flag.String("trace", "", "replay an ns-2 setdest movement trace end to end")
+		tx       = flag.Float64("tx", 100, "radio range in meters for -trace runs")
+		churn    = flag.String("churn", "", "add node churn to the run: meanUp,meanDown seconds (e.g. 60,15)")
 		queries  = flag.Int("queries", 500, "batched queries per preset run")
 		horizon  = flag.Float64("horizon", -1, "simulated seconds before querying (-1 = preset default)")
 		seed     = flag.Uint64("seed", 1, "preset run seed")
@@ -52,19 +60,24 @@ func main() {
 	}
 	if *presets {
 		for _, p := range engine.Presets() {
-			fmt.Printf("%-20s %s\n", p.Name, p.Description)
+			fmt.Printf("%-20s %s\n", p.Name, p.Doc)
+			fmt.Printf("%-20s   %s\n", "", p.Description)
 		}
 		return
 	}
-	if *preset != "" {
-		if err := runPreset(*preset, *queries, *horizon, *seed, *topology); err != nil {
+	if *preset != "" || *trace != "" {
+		p, err := resolveWorkload(*preset, *trace, *tx, *churn)
+		if err == nil {
+			err = runPreset(p, *queries, *horizon, *seed, *topology)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "cardsim:", err)
 			os.Exit(2)
 		}
 		return
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "cardsim: -exp or -preset required (try -list / -presets)")
+		fmt.Fprintln(os.Stderr, "cardsim: -exp, -preset or -trace required (try -list / -presets)")
 		os.Exit(2)
 	}
 
@@ -105,14 +118,47 @@ func main() {
 	}
 }
 
-// runPreset builds the named preset, advances it over its horizon, fans a
+// resolveWorkload turns the -preset / -trace / -churn flags into one
+// runnable Preset: a registered preset by name, or an ad-hoc trace-replay
+// scenario, optionally overlaid with a churn schedule.
+func resolveWorkload(preset, trace string, tx float64, churn string) (engine.Preset, error) {
+	var p engine.Preset
+	switch {
+	case preset != "" && trace != "":
+		return p, fmt.Errorf("-preset and -trace are mutually exclusive")
+	case trace != "":
+		p = engine.Preset{
+			Name:        "trace:" + trace,
+			Description: "ad-hoc ns-2 setdest replay",
+			Net:         engine.NetworkConfig{Mobility: engine.TraceReplay, TracePath: trace, TxRange: tx},
+			// The citywide recipe suits the mid-size urban traces setdest
+			// emits; tune via a registered preset for anything exotic.
+			Protocol: proto.Config{R: 2, MaxContactDist: 10, NoC: 6, Depth: 2, ValidatePeriod: 2},
+			Horizon:  30,
+		}
+	default:
+		var err error
+		if p, err = engine.LookupPreset(preset); err != nil {
+			return p, err
+		}
+	}
+	if churn != "" {
+		upStr, downStr, found := strings.Cut(strings.TrimSpace(churn), ",")
+		up, err1 := strconv.ParseFloat(strings.TrimSpace(upStr), 64)
+		down, err2 := strconv.ParseFloat(strings.TrimSpace(downStr), 64)
+		if !found || err1 != nil || err2 != nil || up <= 0 || down <= 0 {
+			return p, fmt.Errorf("bad -churn %q: want meanUp,meanDown seconds, both > 0", churn)
+		}
+		p.Net.ChurnMeanUp, p.Net.ChurnMeanDown = up, down
+		p.Doc = engine.DescribeNet(p.Net) // keep the header honest about the overlay
+	}
+	return p, nil
+}
+
+// runPreset builds the workload, advances it over its horizon, fans a
 // query batch, and reports topology, reachability, traffic and wall-clock
 // numbers — the quickest way to feel a workload's scale.
-func runPreset(name string, queries int, horizon float64, seed uint64, topo string) error {
-	p, err := engine.LookupPreset(name)
-	if err != nil {
-		return err
-	}
+func runPreset(p engine.Preset, queries int, horizon float64, seed uint64, topo string) error {
 	switch topo {
 	case "grid", "":
 		p.Net.Topology = engine.SpatialGrid
@@ -126,7 +172,11 @@ func runPreset(name string, queries int, horizon float64, seed uint64, topo stri
 	if horizon < 0 {
 		horizon = p.Horizon
 	}
-	fmt.Printf("preset %s: %s\n", p.Name, p.Description)
+	if p.Doc != "" {
+		fmt.Printf("preset %s: %s\n", p.Name, p.Doc)
+	} else {
+		fmt.Printf("preset %s: %s\n", p.Name, p.Description)
+	}
 
 	start := time.Now()
 	e, err := p.New(seed)
@@ -163,8 +213,12 @@ func runPreset(name string, queries int, horizon float64, seed uint64, topo stri
 	}
 	c := e.Network().Graph().ComputeCensus()
 	m := e.Messages()
-	fmt.Printf("topology: %d nodes, %d links, mean degree %.1f, %.0f%% in largest component\n",
-		e.Nodes(), c.Links, c.MeanDegree, 100*c.LargestComponentFrac)
+	churnNote := ""
+	if e.Network().HasChurn() {
+		churnNote = fmt.Sprintf(" (%d up)", e.UpNodes())
+	}
+	fmt.Printf("topology: %d nodes%s, %d links, mean degree %.1f, %.0f%% in largest component\n",
+		e.Nodes(), churnNote, c.Links, c.MeanDegree, 100*c.LargestComponentFrac)
 	fmt.Printf("after %ss simulated (%d maintenance rounds): reach(D=1) %.1f%%\n",
 		trimSeconds(e.Now()), e.Rounds(), e.MeanReachability(1))
 	fmt.Printf("queries: %d/%d found, %.1f msgs/query\n", found, len(res), avg(msgs, len(res)))

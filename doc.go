@@ -1,6 +1,7 @@
 // Package card is a Go reproduction of "Contact-Based Architecture for
 // Resource Discovery (CARD) in Large Scale MANets" (Garg, Pamu, Nahata,
-// Helmy — IPDPS 2003).
+// Helmy — IPDPS 2003), grown into a deterministic, parallel MANET
+// simulation engine.
 //
 // CARD discovers resources in large mobile ad hoc networks without
 // flooding, hierarchy, or GPS. Each node proactively tracks its R-hop
@@ -9,13 +10,57 @@
 // Queries escalate through levels of contacts instead of expanding rings
 // of flooding.
 //
-// The package exposes a simulation facade over the full stack implemented
-// under internal/: unit-disk topologies (with an incremental spatial-hash
-// builder for large mobile networks), analytic mobility models, a
-// discrete-event simulation engine, a scoped-DSDV proactive substrate, the
-// CARD protocol (PM/EM selection, validation with local recovery,
-// multi-level DSQ querying), and the flooding and ZRP-bordercasting
-// baselines the paper compares against.
+// # The facade
+//
+// [Simulation] is the package's entry point: it binds a mobile network, a
+// proactive neighborhood substrate and a CARD protocol instance, and
+// exposes the flooding and ZRP-bordercasting baselines on the same
+// topology. Construct one from explicit configs ([NewSimulation]) or from
+// a named workload preset ([NewPresetSimulation]; see [Presets]). The full
+// stack lives under internal/ — unit-disk topology (incremental
+// spatial-hash builder), six mobility models, a discrete-event engine, a
+// scoped-DSDV substrate, the protocol itself — and [Simulation.Engine]
+// exposes the engine layer for advanced use (custom scheduled events,
+// direct network access, worker bounds).
+//
+// # Determinism guarantees
+//
+// Every run is a pure function of (configuration, seed). The package
+// carries its own RNG suite (SplitMix64 seeding, xoshiro256++ streams), so
+// results are bit-identical across machines and Go releases; every
+// concurrent code path is pinned bit-identical to its serial reference:
+//
+//   - BatchQuery fans read-only queries across workers; results and
+//     message accounting equal a sequential Query loop at any GOMAXPROCS.
+//   - The selection/maintenance rounds inside Advance, SelectContacts and
+//     Maintain shard nodes across workers, with each node drawing from a
+//     counter-based (node, round) RNG substream — tables, statistics and
+//     recorder totals equal the serial id-order loop at any worker count
+//     (Engine().SetMaintainWorkers bounds or disables the fan-out).
+//   - Node churn (NetworkConfig.ChurnMeanUp / ChurnMeanDown) schedules
+//     per-node up/down phases from per-node derived streams, so churned
+//     runs — including the parallel paths above — stay reproducible.
+//
+// # Scenarios
+//
+// NetworkConfig selects the movement structure: [Static], [RandomWaypoint]
+// (the paper's model), [RandomWalk], [GaussMarkov] (smooth autoregressive
+// drift), [GroupMobility] (reference-point group mobility) or
+// [TraceReplay] (ns-2 setdest traces, piecewise-linearly interpolated).
+// Churn overlays any of them: down nodes lose their links and contacts,
+// and re-enter cold. Ready-made large-scale presets (dense sensor fields,
+// rescue groups, citywide fleets at 1k–10k nodes, churned fleets) are
+// listed by [Presets].
+//
+// # Observability knobs
+//
+// Message accounting flows through a pluggable recorder on the network
+// (manet.Recorder): plain counters by default, atomic counters for
+// concurrent consumers; [Simulation.Messages] reports the per-category
+// totals the paper's overhead figures use. TopologyKind selects how
+// connectivity snapshots are recomputed — [SpatialGrid] (incremental,
+// default), [FullRebuild], or the O(N²) [NaiveRebuild] reference — all
+// three byte-identical in output, which the tests enforce.
 //
 // Quick start:
 //
@@ -26,20 +71,12 @@
 //	sim.SelectContacts()
 //	res := sim.Query(12, 451)
 //
-// Advance(dt) steps simulated time on a drift-free maintenance schedule
-// driven by the internal event engine. For bulk workloads, BatchQuery fans
-// read-only queries across CPU cores with results bit-identical to a
-// sequential loop:
+//	sim.Advance(30)                                   // drift-free schedule
+//	results := sim.BatchQuery(sim.RandomPairs(500, 7)) // parallel, bit-identical
 //
-//	sim.Advance(30)
-//	results := sim.BatchQuery(sim.RandomPairs(500, 7))
-//
-// Ready-made large-scale scenarios (dense sensor fields, sparse rescue
-// teams, citywide fleets at 1k-10k nodes) are available as presets:
-//
-//	sim, err := card.NewPresetSimulation("citywide-rwp-1k", 42)
+//	sim, err = card.NewPresetSimulation("churn-2k", 42)
 //
 // The experiment harness regenerating every table and figure of the paper
-// lives in cmd/cardsim; see DESIGN.md for the engine layering and the
-// per-experiment index.
+// lives in cmd/cardsim; see README.md for the preset and experiment
+// tables and DESIGN.md for the engine layering and per-experiment index.
 package card

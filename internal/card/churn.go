@@ -1,0 +1,54 @@
+package card
+
+// ExpireNodes processes a batch of nodes leaving the network (churn): each
+// departed node's own contact table is cleared — a device that powers off
+// forgets its soft state — and every other table drops its entries whose
+// contact *is* a departed node. Entries whose stored path merely passes
+// through one are left alone: their owners cannot know an intermediate hop
+// vanished until the next validation walk fails, which is exactly how the
+// paper's maintenance handles broken paths.
+//
+// The whole batch costs one pass over the tables (the engine hands over
+// every node that went down at a refresh at once), not one per departure.
+// All expired entries are counted in Stats.ContactsExpired.
+//
+// ExpireNodes mutates multiple tables and must only be called from the
+// serial engine loop (between rounds), never concurrently with a round
+// fan-out or batch queries.
+func (p *Protocol) ExpireNodes(vs []NodeID) {
+	if len(vs) == 0 {
+		return
+	}
+	departed := make(map[NodeID]bool, len(vs))
+	for _, v := range vs {
+		departed[v] = true
+		p.stats.ContactsExpired += int64(p.tables[v].Len())
+		p.tables[v].contacts = p.tables[v].contacts[:0]
+	}
+	for _, t := range p.tables {
+		for i := 0; i < len(t.contacts); {
+			if departed[t.contacts[i].ID] {
+				t.removeAt(i)
+				p.stats.ContactsExpired++
+				continue
+			}
+			i++
+		}
+	}
+}
+
+// ExpireNode is ExpireNodes for a single departure.
+func (p *Protocol) ExpireNode(v NodeID) { p.ExpireNodes([]NodeID{v}) }
+
+// ResetNode clears node u's contact table without touching other tables:
+// a churned node is readmitted cold and re-selects contacts at the next
+// round. With the engine's churn wiring the table is normally already
+// empty (ExpireNodes cleared it on departure); the reset is the defensive
+// half of the contract for callers driving churn by hand. Counted
+// expiries only cover entries actually dropped.
+//
+// Like ExpireNodes, ResetNode is serial-only.
+func (p *Protocol) ResetNode(u NodeID) {
+	p.stats.ContactsExpired += int64(p.tables[u].Len())
+	p.tables[u].contacts = p.tables[u].contacts[:0]
+}

@@ -81,17 +81,27 @@ func (m *Maintainer) sendHops(cat manet.Category, k int) { m.pend.Add(cat, k) }
 
 // SelectNode runs the contact-selection procedure of §III.C.1 for node u
 // at simulation time now, drawing randomness from the (u, round)
-// substream. It returns the number of contacts added. See
+// substream. It returns the number of contacts added. Churned-down nodes
+// skip the round entirely — their radios are off — which is safe for the
+// parallel fan-out because every node's randomness comes from its own
+// substream, so a skip cannot shift any other node's draws. See
 // Protocol.SelectContacts for the serial entry point.
 func (m *Maintainer) SelectNode(u NodeID, now float64, round uint64) int {
+	if m.p.net.Down(u) {
+		return 0
+	}
 	m.rng.Reseed(m.p.rng.StreamSeed(uint64(u), round))
 	return m.selectContacts(u, now)
 }
 
 // MaintainNode runs one contact-maintenance round (§III.C.3) for node u,
 // drawing any refill-selection randomness from the (u, round) substream.
-// See Protocol.Maintain for the serial entry point and the rule list.
+// Churned-down nodes skip the round (see SelectNode). See
+// Protocol.Maintain for the serial entry point and the rule list.
 func (m *Maintainer) MaintainNode(u NodeID, now float64, round uint64) {
+	if m.p.net.Down(u) {
+		return
+	}
 	m.rng.Reseed(m.p.rng.StreamSeed(uint64(u), round))
 	m.maintain(u, now)
 }

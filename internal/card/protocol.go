@@ -113,6 +113,11 @@ type Stats struct {
 	// BoundDrops counts contacts dropped by maintenance rule 4 (validated
 	// path length outside [lower, r]).
 	BoundDrops int64
+	// ContactsExpired counts contact entries dropped by churn — a table
+	// cleared because its owner left the network, or an entry removed
+	// because the contact node itself went down. Expiry is bookkeeping,
+	// not protocol traffic, so it is counted separately from ContactsLost.
+	ContactsExpired int64
 }
 
 // add accumulates o into s; used when per-worker Maintainers flush their
@@ -126,6 +131,7 @@ func (s *Stats) add(o Stats) {
 	s.Recoveries += o.Recoveries
 	s.RecoveryFailures += o.RecoveryFailures
 	s.BoundDrops += o.BoundDrops
+	s.ContactsExpired += o.ContactsExpired
 }
 
 // New creates a CARD protocol over net using the given neighborhood

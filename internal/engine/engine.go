@@ -39,6 +39,17 @@
 // only u's own table, so the fan-out is race-free and bit-identical to
 // the serial id-order loop at any GOMAXPROCS; SetMaintainWorkers bounds
 // or disables it.
+//
+// # Scenarios and churn
+//
+// NetworkConfig selects among six mobility models (static, RWP, random
+// walk, Gauss–Markov, RPGM groups, ns-2 trace replay) and may overlay a
+// node churn schedule: at each refresh, nodes that went down are expired
+// from every contact table (ExpireNodes) and readmitted nodes start cold
+// (ResetNode), both on the serial engine loop between rounds — so the
+// parallel paths stay bit-identical under churn (the churn equivalence
+// test pins it). Ready-made workloads live in the preset registry
+// (presets.go); each carries a Doc line synthesized from its config.
 package engine
 
 import (
@@ -69,7 +80,41 @@ const (
 	// RandomWaypoint is the paper's mobility model: uniform waypoints,
 	// uniform speed in [MinSpeed, MaxSpeed], optional pauses.
 	RandomWaypoint
+	// RandomWalk moves nodes at constant speed with periodic random
+	// direction changes, reflecting off the boundary.
+	RandomWalk
+	// GaussMarkov runs the Gauss–Markov model: autoregressive speed and
+	// direction with tunable memory (GMAlpha), producing smooth
+	// temporally-correlated trajectories.
+	GaussMarkov
+	// GroupMobility runs reference-point group mobility (RPGM): groups
+	// share a random-waypoint leader trajectory with bounded per-member
+	// jitter — the classic stressor for contact-based schemes.
+	GroupMobility
+	// TraceReplay replays an ns-2 setdest movement trace (TracePath) with
+	// piecewise-linear interpolation; Nodes and the area come from the
+	// trace unless overridden.
+	TraceReplay
 )
+
+func (k MobilityKind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case RandomWaypoint:
+		return "waypoint"
+	case RandomWalk:
+		return "walk"
+	case GaussMarkov:
+		return "gauss-markov"
+	case GroupMobility:
+		return "group"
+	case TraceReplay:
+		return "trace"
+	default:
+		return fmt.Sprintf("MobilityKind(%d)", int(k))
+	}
+}
 
 // ProactiveKind selects the neighborhood substrate implementation.
 type ProactiveKind int
@@ -114,18 +159,49 @@ func (k TopologyKind) mode() (manet.TopologyMode, error) {
 
 // NetworkConfig describes the simulated network.
 type NetworkConfig struct {
-	// Nodes is the network size (>= 2).
+	// Nodes is the network size (>= 2). For TraceReplay it defaults to the
+	// trace's node count and may not disagree with it.
 	Nodes int
-	// Width, Height are the deployment area in meters.
+	// Width, Height are the deployment area in meters. For TraceReplay,
+	// zero values take the trace's bounding box.
 	Width, Height float64
 	// TxRange is the radio range in meters (> 0).
 	TxRange float64
-	// Mobility selects Static (default) or RandomWaypoint.
+	// Mobility selects the movement model (default Static).
 	Mobility MobilityKind
 	// MinSpeed, MaxSpeed bound RWP speeds in m/s (defaults 1 and 19).
+	// Under GroupMobility they bound the group leader trajectory instead.
 	MinSpeed, MaxSpeed float64
-	// Pause is the RWP dwell time at waypoints in seconds.
+	// Pause is the RWP (or RPGM leader) dwell time at waypoints in seconds.
 	Pause float64
+
+	// WalkSpeed, WalkEpoch parameterize RandomWalk: constant speed in m/s
+	// (default 10) and direction-change interval in seconds (default 2).
+	WalkSpeed, WalkEpoch float64
+
+	// GMMeanSpeed, GMAlpha, GMSpeedSigma, GMDirSigma, GMEpoch parameterize
+	// GaussMarkov; zero values take mobility.DefaultGM (10 m/s, α 0.75,
+	// σ_s 2 m/s, σ_θ 0.4 rad, 1 s epoch). To request α = 0 exactly
+	// (memoryless), set a negative GMAlpha.
+	GMMeanSpeed, GMAlpha, GMSpeedSigma, GMDirSigma, GMEpoch float64
+
+	// Groups, GroupRadius, MemberSpeed, MemberPause parameterize
+	// GroupMobility: number of groups (default Nodes/20, min 1), member
+	// offset bound in meters (default 2·TxRange), member jitter speed in
+	// m/s (default 2) and jitter dwell in seconds.
+	Groups                                int
+	GroupRadius, MemberSpeed, MemberPause float64
+
+	// TracePath names an ns-2 setdest movement trace for TraceReplay.
+	TracePath string
+
+	// ChurnMeanUp, ChurnMeanDown enable node churn when both are > 0:
+	// every node alternates exponentially distributed up/down phases
+	// (deterministic per Seed via per-node RNG streams). Down nodes hold
+	// no links, run no protocol rounds, and are readmitted cold. Churn
+	// currently requires the OracleView substrate.
+	ChurnMeanUp, ChurnMeanDown float64
+
 	// Proactive selects the neighborhood substrate (default OracleView).
 	Proactive ProactiveKind
 	// DSDVPeriod is the full-dump interval for DSDVProtocol in seconds
@@ -153,7 +229,64 @@ func (nc *NetworkConfig) fill() error {
 	if nc.MaxSpeed == 0 {
 		nc.MaxSpeed = 19
 	}
+	if (nc.ChurnMeanUp > 0) != (nc.ChurnMeanDown > 0) {
+		return fmt.Errorf("engine: churn needs both ChurnMeanUp and ChurnMeanDown > 0 (got %g, %g)",
+			nc.ChurnMeanUp, nc.ChurnMeanDown)
+	}
 	return nil
+}
+
+// hasChurn reports whether the config enables node churn.
+func (nc *NetworkConfig) hasChurn() bool { return nc.ChurnMeanUp > 0 && nc.ChurnMeanDown > 0 }
+
+// gmConfig resolves the Gauss–Markov parameters against DefaultGM.
+func (nc *NetworkConfig) gmConfig() mobility.GMConfig {
+	cfg := mobility.DefaultGM()
+	if nc.GMMeanSpeed > 0 {
+		cfg.MeanSpeed = nc.GMMeanSpeed
+	}
+	if nc.GMAlpha != 0 {
+		cfg.Alpha = nc.GMAlpha
+		if cfg.Alpha < 0 {
+			cfg.Alpha = 0
+		}
+	}
+	if nc.GMSpeedSigma > 0 {
+		cfg.SpeedSigma = nc.GMSpeedSigma
+	}
+	if nc.GMDirSigma > 0 {
+		cfg.DirSigma = nc.GMDirSigma
+	}
+	if nc.GMEpoch > 0 {
+		cfg.Epoch = nc.GMEpoch
+	}
+	return cfg
+}
+
+// rpgmConfig resolves the group-mobility parameters.
+func (nc *NetworkConfig) rpgmConfig() mobility.RPGMConfig {
+	groups := nc.Groups
+	if groups <= 0 {
+		groups = nc.Nodes / 20
+		if groups < 1 {
+			groups = 1
+		}
+	}
+	radius := nc.GroupRadius
+	if radius <= 0 {
+		radius = 2 * nc.TxRange
+	}
+	speed := nc.MemberSpeed
+	if speed <= 0 {
+		speed = 2
+	}
+	return mobility.RPGMConfig{
+		Groups:      groups,
+		GroupRadius: radius,
+		Leader:      mobility.RWPConfig{MinSpeed: nc.MinSpeed, MaxSpeed: nc.MaxSpeed, Pause: nc.Pause},
+		MemberSpeed: speed,
+		MemberPause: nc.MemberPause,
+	}
 }
 
 // Engine binds network, substrate and protocol and owns simulated time.
@@ -184,31 +317,81 @@ type Engine struct {
 
 // New builds a network per nc and a CARD engine per cfg.
 func New(nc NetworkConfig, cfg proto.Config) (*Engine, error) {
+	var trace *mobility.Trace
+	if nc.Mobility == TraceReplay {
+		if nc.TracePath == "" {
+			return nil, fmt.Errorf("engine: TraceReplay mobility needs a TracePath")
+		}
+		tr, err := mobility.LoadSetdestFile(nc.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		trace = tr
+		if nc.Nodes == 0 {
+			nc.Nodes = tr.N()
+		}
+		if nc.Nodes != tr.N() {
+			return nil, fmt.Errorf("engine: config says %d nodes but trace %s has %d",
+				nc.Nodes, nc.TracePath, tr.N())
+		}
+		if nc.Width == 0 && nc.Height == 0 {
+			b := tr.Bounds()
+			nc.Width, nc.Height = b.W, b.H
+		}
+	}
 	if err := nc.fill(); err != nil {
 		return nil, err
 	}
 	area := geom.Rect{W: nc.Width, H: nc.Height}
 	rng := xrand.New(nc.Seed)
 	var model mobility.Model
+	var err error
 	switch nc.Mobility {
 	case Static:
 		model = mobility.NewStatic(topology.UniformPositions(nc.Nodes, area, rng.Derive(0)), area)
 	case RandomWaypoint:
-		m, err := mobility.NewRandomWaypoint(nc.Nodes, area, mobility.RWPConfig{
+		model, err = mobility.NewRandomWaypoint(nc.Nodes, area, mobility.RWPConfig{
 			MinSpeed: nc.MinSpeed, MaxSpeed: nc.MaxSpeed, Pause: nc.Pause,
 		}, rng.Derive(0))
-		if err != nil {
-			return nil, err
+	case RandomWalk:
+		speed, epoch := nc.WalkSpeed, nc.WalkEpoch
+		if speed == 0 {
+			speed = 10
 		}
-		model = m
+		if epoch == 0 {
+			epoch = 2
+		}
+		pts := topology.UniformPositions(nc.Nodes, area, rng.Derive(0))
+		model, err = mobility.NewRandomWalk(pts, area, speed, epoch, rng.Derive(4))
+	case GaussMarkov:
+		model, err = mobility.NewGaussMarkov(nc.Nodes, area, nc.gmConfig(), rng.Derive(0))
+	case GroupMobility:
+		model, err = mobility.NewRPGM(nc.Nodes, area, nc.rpgmConfig(), rng.Derive(0))
+	case TraceReplay:
+		model, err = mobility.NewTraceReplay(trace, area)
 	default:
 		return nil, fmt.Errorf("engine: unknown mobility kind %d", int(nc.Mobility))
+	}
+	if err != nil {
+		return nil, err
 	}
 	mode, err := nc.Topology.mode()
 	if err != nil {
 		return nil, err
 	}
-	net := manet.NewWithMode(model, nc.TxRange, rng.Derive(1), mode)
+	var churn *manet.Churn
+	if nc.hasChurn() {
+		if nc.Proactive == DSDVProtocol {
+			return nil, fmt.Errorf("engine: churn requires the OracleView substrate (DSDV does not yet model node departure)")
+		}
+		churn, err = manet.NewChurn(nc.Nodes, manet.ChurnConfig{
+			MeanUp: nc.ChurnMeanUp, MeanDown: nc.ChurnMeanDown,
+		}, rng.Derive(3))
+		if err != nil {
+			return nil, err
+		}
+	}
+	net := manet.NewWithChurn(model, nc.TxRange, rng.Derive(1), mode, churn)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -255,14 +438,30 @@ func (e *Engine) scheduleMaintenance() {
 }
 
 func (e *Engine) maintainTick(now float64) {
-	e.net.RefreshAt(now)
+	e.refresh(now)
 	if e.dsdv != nil {
-		e.dsdv.DetectBreaks(now)
 		e.dsdv.Round(now)
 	}
 	e.maintainRound(now)
 	e.rounds++
 	e.scheduleMaintenance()
+}
+
+// refresh re-snapshots the network at time t and applies the consequences:
+// churn flips expire protocol state, and the DSDV substrate observes link
+// breaks. Runs serially (between rounds), so the expiry order — down
+// flips in id order, then up flips — is deterministic.
+func (e *Engine) refresh(t float64) {
+	e.net.RefreshAt(t)
+	if e.net.HasChurn() {
+		e.prot.ExpireNodes(e.net.ChurnedDown())
+		for _, v := range e.net.ChurnedUp() {
+			e.prot.ResetNode(v)
+		}
+	}
+	if e.dsdv != nil {
+		e.dsdv.DetectBreaks(t)
+	}
 }
 
 // Advance moves simulated time forward by dt seconds: node positions and
@@ -278,10 +477,7 @@ func (e *Engine) Advance(dt float64) {
 	target := e.q.Now() + dt
 	e.q.RunUntil(target)
 	if target > e.net.Now() {
-		e.net.RefreshAt(target)
-		if e.dsdv != nil {
-			e.dsdv.DetectBreaks(target)
-		}
+		e.refresh(target)
 	}
 }
 
@@ -291,8 +487,12 @@ func (e *Engine) Now() float64 { return e.q.Now() }
 // Rounds returns how many maintenance rounds have fired so far.
 func (e *Engine) Rounds() int64 { return e.rounds }
 
-// Nodes returns the network size.
+// Nodes returns the network size (up or down; see UpNodes).
 func (e *Engine) Nodes() int { return e.net.N() }
+
+// UpNodes returns how many nodes are up in the current snapshot (equal to
+// Nodes without churn).
+func (e *Engine) UpNodes() int { return e.net.UpCount() }
 
 // Config returns the protocol configuration with defaults filled.
 func (e *Engine) Config() proto.Config { return e.cfg }

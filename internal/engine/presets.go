@@ -16,11 +16,45 @@ import (
 type Preset struct {
 	Name        string
 	Description string
-	Net         NetworkConfig
-	Protocol    proto.Config
+	// Doc is the one-line scenario summary shown by cardsim -presets:
+	// mobility model, node count, area, radio range and churn. It is
+	// synthesized from Net at registration time (see DescribeNet), never
+	// hand-written, so it cannot drift from the config it documents.
+	Doc      string
+	Net      NetworkConfig
+	Protocol proto.Config
 	// Horizon is the suggested simulated duration in seconds for a
 	// representative run (0 = static scenario, query-only).
 	Horizon float64
+}
+
+// DescribeNet renders the scenario facts of a network config as one
+// line; preset Doc lines are synthesized with it, and cardsim reuses it
+// when flag overlays (e.g. -churn) change a preset's config after lookup.
+func DescribeNet(nc NetworkConfig) string {
+	churn := "no churn"
+	if nc.hasChurn() {
+		churn = fmt.Sprintf("churn up~%gs/down~%gs", nc.ChurnMeanUp, nc.ChurnMeanDown)
+	}
+	extra := ""
+	if nc.Mobility == GroupMobility {
+		g := nc.rpgmConfig()
+		extra = fmt.Sprintf(" (%d groups, r=%gm)", g.Groups, g.GroupRadius)
+	}
+	size := fmt.Sprintf("N=%d | %gx%gm", nc.Nodes, nc.Width, nc.Height)
+	if nc.Mobility == TraceReplay && nc.Nodes == 0 {
+		// Trace presets may be registered before the trace is loaded; N and
+		// the area are then inferred by engine.New, not known here.
+		size = fmt.Sprintf("%s | N/area from trace", nc.TracePath)
+	}
+	return fmt.Sprintf("%s%s | %s | tx %gm | %s",
+		nc.Mobility, extra, size, nc.TxRange, churn)
+}
+
+// withDoc returns p with its Doc synthesized from the network config.
+func withDoc(p Preset) Preset {
+	p.Doc = DescribeNet(p.Net)
+	return p
 }
 
 // New builds an engine for the preset. seed overrides the preset's
@@ -87,6 +121,48 @@ var builtinPresets = []Preset{
 		Protocol: proto.Config{R: 2, MaxContactDist: 10, NoC: 8, Depth: 3, ValidatePeriod: 2},
 		Horizon:  30,
 	},
+	{
+		// The 5k regime under Gauss–Markov: smooth correlated trajectories
+		// keep links alive longer than RWP's sharp turns, so contact paths
+		// decay gradually instead of snapping — the favorable-mobility
+		// bookend to rescue-groups-1k.
+		Name:        "citywide-gm-5k",
+		Description: "5000 vehicles over 3000x3000 m, 100 m radio, Gauss-Markov drift (12 m/s, alpha 0.85)",
+		Net: NetworkConfig{
+			Nodes: 5000, Width: 3000, Height: 3000, TxRange: 100,
+			Mobility: GaussMarkov, GMMeanSpeed: 12, GMAlpha: 0.85, GMSpeedSigma: 3, Seed: 1,
+		},
+		Protocol: proto.Config{R: 2, MaxContactDist: 10, NoC: 8, Depth: 3, ValidatePeriod: 2},
+		Horizon:  30,
+	},
+	{
+		// Reference-point group mobility: 25 teams that stay internally
+		// dense while the teams themselves scatter — contacts must bridge
+		// between groups, the worst case for neighborhood-overlap pruning.
+		Name:        "rescue-groups-1k",
+		Description: "1000 responders in 25 groups over 2000x2000 m, 100 m radio, RPGM with 150 m group radius",
+		Net: NetworkConfig{
+			Nodes: 1000, Width: 2000, Height: 2000, TxRange: 100,
+			Mobility: GroupMobility, Groups: 25, GroupRadius: 150,
+			MinSpeed: 1, MaxSpeed: 5, Pause: 30, MemberSpeed: 2, Seed: 1,
+		},
+		Protocol: proto.Config{R: 3, MaxContactDist: 14, NoC: 6, Depth: 2, ValidatePeriod: 2},
+		Horizon:  60,
+	},
+	{
+		// Node churn over a mobile fleet: nodes power off for ~15 s out of
+		// every ~75 s, so roughly a fifth of the population is dark at any
+		// instant and contact tables are perpetually rebuilding.
+		Name:        "churn-2k",
+		Description: "2000 vehicles over 2000x2000 m, 100 m radio, RWP with exponential up/down churn",
+		Net: NetworkConfig{
+			Nodes: 2000, Width: 2000, Height: 2000, TxRange: 100,
+			Mobility: RandomWaypoint, MinSpeed: 1, MaxSpeed: 10,
+			ChurnMeanUp: 60, ChurnMeanDown: 15, Seed: 1,
+		},
+		Protocol: proto.Config{R: 2, MaxContactDist: 10, NoC: 6, Depth: 2, ValidatePeriod: 2},
+		Horizon:  30,
+	},
 }
 
 // presetMu guards presetIndex: experiments and tests register workloads
@@ -97,7 +173,7 @@ var presetMu sync.RWMutex
 var presetIndex = func() map[string]Preset {
 	m := make(map[string]Preset, len(builtinPresets))
 	for _, p := range builtinPresets {
-		m[p.Name] = p
+		m[p.Name] = withDoc(p)
 	}
 	return m
 }()
@@ -145,7 +221,9 @@ func LookupPreset(name string) (Preset, error) {
 // registered preset of the same name. It errors — rather than silently
 // replacing — when the name collides with a built-in workload, so a
 // benchmark baseline can never be redefined out from under a consumer.
-// Safe for concurrent use.
+// The preset's Doc line is synthesized from its network config (any
+// caller-provided Doc is overwritten; docs never drift from code). Safe
+// for concurrent use.
 func Register(p Preset) error {
 	if p.Name == "" {
 		return fmt.Errorf("engine: preset without a name")
@@ -155,6 +233,6 @@ func Register(p Preset) error {
 	}
 	presetMu.Lock()
 	defer presetMu.Unlock()
-	presetIndex[p.Name] = p
+	presetIndex[p.Name] = withDoc(p)
 	return nil
 }

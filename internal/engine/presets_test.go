@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -55,6 +56,84 @@ func TestRegisterConcurrent(t *testing.T) {
 	wg.Wait()
 	if got := len(Presets()); got < workers*each+5 {
 		t.Errorf("registry holds %d presets, want >= %d", got, workers*each+5)
+	}
+}
+
+// TestPresetDocsSynthesized pins the -presets contract: every registered
+// preset carries a Doc line derived from its config (mobility model, N,
+// area, churn), including presets added through Register.
+func TestPresetDocsSynthesized(t *testing.T) {
+	for _, p := range Presets() {
+		if p.Doc == "" {
+			t.Errorf("preset %s has no Doc", p.Name)
+			continue
+		}
+		for _, want := range []string{
+			p.Net.Mobility.String(),
+			fmt.Sprintf("N=%d", p.Net.Nodes),
+			fmt.Sprintf("%gx%gm", p.Net.Width, p.Net.Height),
+		} {
+			if !strings.Contains(p.Doc, want) {
+				t.Errorf("preset %s Doc %q missing %q", p.Name, p.Doc, want)
+			}
+		}
+		if churned := p.Net.ChurnMeanUp > 0; churned != strings.Contains(p.Doc, "churn up~") {
+			t.Errorf("preset %s Doc %q misstates churn", p.Name, p.Doc)
+		}
+	}
+	// Register must synthesize (and overwrite) Doc.
+	name := "doc-synth-test"
+	t.Cleanup(func() {
+		presetMu.Lock()
+		defer presetMu.Unlock()
+		delete(presetIndex, name)
+	})
+	if err := Register(Preset{Name: name, Doc: "hand-written lies", Net: testNet(50)}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LookupPreset(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Doc != DescribeNet(p.Net) {
+		t.Errorf("registered Doc %q, want synthesized %q", p.Doc, DescribeNet(p.Net))
+	}
+}
+
+// TestScenarioPresetsRun smoke-tests the scenario-diversity presets at
+// reduced scale: same mobility/churn configuration, fewer nodes, so the
+// whole matrix stays test-budget cheap.
+func TestScenarioPresetsRun(t *testing.T) {
+	for _, name := range []string{"citywide-gm-5k", "rescue-groups-1k", "churn-2k"} {
+		p, err := LookupPreset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc := p.Net
+		nc.Nodes = 150
+		nc.Width, nc.Height = 600, 600
+		if nc.Groups > 0 {
+			nc.Groups = 6
+		}
+		e, err := New(nc, p.Protocol)
+		if err != nil {
+			t.Fatalf("%s (scaled): %v", name, err)
+		}
+		e.SelectContacts()
+		e.Advance(6)
+		if e.Rounds() == 0 {
+			t.Errorf("%s: no maintenance rounds fired", name)
+		}
+		res := e.BatchQuery(e.RandomPairs(40, 5))
+		found := 0
+		for _, r := range res {
+			if r.Found {
+				found++
+			}
+		}
+		if found == 0 {
+			t.Errorf("%s: no query succeeded", name)
+		}
 	}
 }
 

@@ -285,15 +285,31 @@ func TestAblationsQuick(t *testing.T) {
 
 func TestAblationMobilityQuick(t *testing.T) {
 	tab := RunAblationMobility(quick())
-	if len(tab.Rows) != 3 {
+	if len(tab.Rows) != 6 {
 		t.Fatalf("mobility ablation rows = %d", len(tab.Rows))
 	}
-	// Static networks must lose no contacts; mobile ones must lose some.
+	// Rows: static, waypoint, walk, gauss-markov, group, waypoint+churn.
+	// Columns: 1 lost, 2 expired, 3 splices, 4 overhead, 5 contacts.
 	if lost := cellFloat(t, tab, 0, 1); lost != 0 {
 		t.Errorf("static run lost %v contacts/node", lost)
 	}
 	if lost := cellFloat(t, tab, 1, 1); lost <= 0 {
 		t.Error("waypoint run lost no contacts at all")
+	}
+	// Only the churn row expires contacts, and it must expire some.
+	for r := 0; r < 5; r++ {
+		if exp := cellFloat(t, tab, r, 2); exp != 0 {
+			t.Errorf("churn-free row %d expired %v contacts/node", r, exp)
+		}
+	}
+	if exp := cellFloat(t, tab, 5, 2); exp <= 0 {
+		t.Error("churn row expired no contacts")
+	}
+	// Every model must end the run holding some contacts.
+	for r := 0; r < 6; r++ {
+		if c := cellFloat(t, tab, r, 5); c <= 0 {
+			t.Errorf("row %d ended with %v contacts/node", r, c)
+		}
 	}
 }
 

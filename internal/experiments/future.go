@@ -4,65 +4,72 @@ import (
 	"fmt"
 
 	"card/internal/card"
+	"card/internal/engine"
 	"card/internal/manet"
-	"card/internal/mobility"
 	"card/internal/resource"
-	"card/internal/topology"
 	"card/internal/xrand"
 )
 
 // RunAblationMobility implements the paper's footnote 1 / §V future work:
 // "different mobility models may have different effects on performance of
-// CARD". It runs the same 10 s maintenance workload under Static, RWP and
-// bounded RandomWalk mobility and compares contact survival and overhead.
+// CARD". It runs the same 10 s maintenance workload under every movement
+// structure the scenario engine offers — Static, RWP, bounded RandomWalk,
+// Gauss–Markov drift, reference-point group mobility — plus RWP with node
+// churn, and compares contact survival and overhead. Rows run through the
+// engine itself (scheduled maintenance every ValidatePeriod, churn expiry
+// between rounds), so the ablation measures exactly what preset runs do.
 func RunAblationMobility(o Options) *Table {
 	o.fill()
 	sc := Scenario5.Scaled(o.Scale)
-	models := []string{"static", "waypoint", "walk"}
-	type row struct{ lost, splices, overhead, contacts float64 }
+	models := []struct {
+		name string
+		mut  func(*engine.NetworkConfig)
+	}{
+		{"static", func(nc *engine.NetworkConfig) { nc.Mobility = engine.Static }},
+		{"waypoint", func(nc *engine.NetworkConfig) { nc.Mobility = engine.RandomWaypoint }},
+		{"walk", func(nc *engine.NetworkConfig) {
+			nc.Mobility = engine.RandomWalk
+			nc.WalkSpeed, nc.WalkEpoch = 10, 2
+		}},
+		{"gauss-markov", func(nc *engine.NetworkConfig) { nc.Mobility = engine.GaussMarkov }},
+		{"group", func(nc *engine.NetworkConfig) {
+			nc.Mobility = engine.GroupMobility
+			nc.Groups = sc.N / 25
+			nc.GroupRadius = 3 * sc.TxRange
+			nc.MinSpeed, nc.MaxSpeed, nc.Pause = 1, 5, 5
+		}},
+		{"waypoint+churn", func(nc *engine.NetworkConfig) {
+			nc.Mobility = engine.RandomWaypoint
+			nc.ChurnMeanUp, nc.ChurnMeanDown = 8, 3
+		}},
+	}
+	type row struct{ lost, expired, splices, overhead, contacts float64 }
 	cells := make([]row, len(models)*o.Seeds)
 	Parallel(len(cells), func(i int) {
 		model := models[i/o.Seeds]
 		seed := uint64(i%o.Seeds) + 1
-		rng := xrand.New(seed ^ uint64(sc.ID)<<32)
-		var net *manet.Network
-		switch model {
-		case "static":
-			pts := topology.UniformPositions(sc.N, sc.Area, rng)
-			net = manet.New(mobility.NewStatic(pts, sc.Area), sc.TxRange, rng.Derive(1))
-		case "waypoint":
-			m, err := mobility.NewRandomWaypoint(sc.N, sc.Area, mobility.DefaultRWP(), rng)
-			if err != nil {
-				panic(err)
-			}
-			net = manet.New(m, sc.TxRange, rng.Derive(1))
-		case "walk":
-			pts := topology.UniformPositions(sc.N, sc.Area, rng)
-			m, err := mobility.NewRandomWalk(pts, sc.Area, 10, 2, rng.Derive(3))
-			if err != nil {
-				panic(err)
-			}
-			net = manet.New(m, sc.TxRange, rng.Derive(1))
+		nc := engine.NetworkConfig{
+			Nodes: sc.N, Width: sc.Area.W, Height: sc.Area.H, TxRange: sc.TxRange,
+			Seed: seed ^ uint64(sc.ID)<<32,
 		}
+		model.mut(&nc)
 		cfg := card.Config{R: 3, MaxContactDist: 12, NoC: 5, Depth: 1, Method: card.EM, ValidatePeriod: 1}
-		prot, err := NewCARD(net, cfg, seed)
+		e, err := engine.New(nc, cfg)
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("experiments: abl-mobility %s: %v", model.name, err))
 		}
-		prot.SelectAll(0)
+		e.SelectContacts()
 		for t := 0.25; t <= 10+1e-9; t += 0.25 {
-			net.RefreshAt(t)
-			if isMultiple(t, cfg.ValidatePeriod) {
-				prot.MaintainAll(t)
-			}
+			e.Advance(0.25)
 		}
-		n := float64(net.N())
-		st := prot.Stats()
+		n := float64(e.Nodes())
+		st := e.Stats()
 		cells[i] = row{
 			lost:     float64(st.ContactsLost) / n,
+			expired:  float64(st.ContactsExpired) / n,
 			splices:  float64(st.Recoveries) / n,
-			overhead: float64(net.Totals().Sum(overheadCats...)) / n,
-			contacts: float64(prot.TotalContacts()) / n,
+			overhead: float64(e.Network().Totals().Sum(overheadCats...)) / n,
+			contacts: float64(e.Protocol().TotalContacts()) / n,
 		}
 	})
 	rows := make([]row, len(models))
@@ -70,16 +77,17 @@ func RunAblationMobility(o Options) *Table {
 		r := &rows[i/o.Seeds]
 		s := float64(o.Seeds)
 		r.lost += c.lost / s
+		r.expired += c.expired / s
 		r.splices += c.splices / s
 		r.overhead += c.overhead / s
 		r.contacts += c.contacts / s
 	}
 	t := NewTable(
 		fmt.Sprintf("Ablation: mobility model over 10 s (N=%d, R=3, r=12, NoC=5)", sc.N),
-		"Mobility", "Lost/node", "Splices/node", "Overhead/node", "Final contacts/node")
+		"Mobility", "Lost/node", "Expired/node", "Splices/node", "Overhead/node", "Final contacts/node")
 	for i, m := range models {
 		r := rows[i]
-		t.Add(m, r.lost, r.splices, r.overhead, r.contacts)
+		t.Add(m.name, r.lost, r.expired, r.splices, r.overhead, r.contacts)
 	}
 	return t
 }

@@ -1,0 +1,80 @@
+package manet
+
+import (
+	"fmt"
+
+	"card/internal/xrand"
+)
+
+// ChurnConfig parameterizes a node up/down schedule: nodes alternate
+// between up-times and down-times drawn from exponential distributions.
+// The paper's evaluation keeps the population fixed; churn models the
+// Rendezvous-Regions-style regime where devices arrive, sleep, crash and
+// return, which stresses contact state far harder than link churn alone.
+type ChurnConfig struct {
+	// MeanUp is the mean up-time in seconds (> 0).
+	MeanUp float64
+	// MeanDown is the mean down-time in seconds (> 0).
+	MeanDown float64
+}
+
+func (c ChurnConfig) validate() error {
+	if c.MeanUp <= 0 {
+		return fmt.Errorf("manet: churn MeanUp must be > 0, got %v", c.MeanUp)
+	}
+	if c.MeanDown <= 0 {
+		return fmt.Errorf("manet: churn MeanDown must be > 0, got %v", c.MeanDown)
+	}
+	return nil
+}
+
+// churnState is one node's position in its up/down renewal process.
+type churnState struct {
+	rng   *xrand.Rand
+	up    bool
+	until float64 // time of the next state flip
+}
+
+// Churn is a deterministic per-node up/down schedule. Every node owns a
+// derived RNG stream, so its flip sequence is a pure function of the
+// construction seed and the node id — independent of how (or whether) any
+// other node is sampled, which is what keeps churned runs reproducible
+// and lets the engine's parallel rounds stay bit-identical to serial
+// execution. All nodes start up at t = 0; sampling times must be
+// non-decreasing per node (the network refresh clock is monotone).
+type Churn struct {
+	cfg   ChurnConfig
+	nodes []churnState
+}
+
+// NewChurn creates a schedule for n nodes. The rng is consumed only for
+// stream derivation; the caller may keep using it.
+func NewChurn(n int, cfg ChurnConfig, rng *xrand.Rand) (*Churn, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Churn{cfg: cfg, nodes: make([]churnState, n)}
+	for i := range c.nodes {
+		r := rng.Derive(uint64(i))
+		c.nodes[i] = churnState{rng: r, up: true, until: cfg.MeanUp * r.ExpFloat64()}
+	}
+	return c, nil
+}
+
+// N returns the number of nodes the schedule covers.
+func (c *Churn) N() int { return len(c.nodes) }
+
+// UpAt reports whether node i is up at time t, advancing the node's
+// renewal process. t must be non-decreasing across calls for a given i.
+func (c *Churn) UpAt(i int, t float64) bool {
+	s := &c.nodes[i]
+	for t >= s.until {
+		s.up = !s.up
+		if s.up {
+			s.until += c.cfg.MeanUp * s.rng.ExpFloat64()
+		} else {
+			s.until += c.cfg.MeanDown * s.rng.ExpFloat64()
+		}
+	}
+	return s.up
+}

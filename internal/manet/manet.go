@@ -23,6 +23,16 @@
 // Message accounting flows through a pluggable [Recorder] (see
 // recorder.go): the plain [Counters] for serial runs, [AtomicCounters]
 // when concurrent readers or writers are in play.
+//
+// # Node churn
+//
+// A Network may carry a [Churn] schedule (NewWithChurn): at every refresh
+// the schedule is sampled and down nodes are excluded from the topology
+// snapshot — no links in either direction — while keeping their ids and
+// positions. The flip lists (ChurnedDown, ChurnedUp) let the protocol
+// layer expire contact state exactly once per transition. Schedules are
+// stream-seeded per node, so churned runs are as reproducible as fixed
+// populations.
 package manet
 
 import (
@@ -113,6 +123,14 @@ type Network struct {
 	graph   *topology.Graph
 	builder *topology.Builder // non-nil iff mode == IncrementalTopology
 
+	// Churn state: nil churn means a fixed population. down is the
+	// node-exclusion mask fed to the topology builders; wentDown/cameUp
+	// list the nodes that flipped at the most recent refresh and stay
+	// valid until the next one.
+	churn            *Churn
+	down             []bool
+	wentDown, cameUp []NodeID
+
 	rec Recorder
 }
 
@@ -126,8 +144,20 @@ func New(model mobility.Model, txRange float64, rng *xrand.Rand) *Network {
 
 // NewWithMode is New with an explicit topology mode.
 func NewWithMode(model mobility.Model, txRange float64, rng *xrand.Rand, mode TopologyMode) *Network {
+	return NewWithChurn(model, txRange, rng, mode, nil)
+}
+
+// NewWithChurn is NewWithMode with a node up/down schedule: at every
+// refresh the schedule is sampled, down nodes are excluded from the
+// topology snapshot (no links in either direction), and the flip lists
+// (ChurnedDown, ChurnedUp) are refreshed for protocol-layer expiry. A nil
+// churn keeps the whole population up forever.
+func NewWithChurn(model mobility.Model, txRange float64, rng *xrand.Rand, mode TopologyMode, churn *Churn) *Network {
 	if txRange <= 0 {
 		panic("manet: non-positive transmission range")
+	}
+	if churn != nil && churn.N() != model.N() {
+		panic(fmt.Sprintf("manet: churn schedule covers %d nodes, model has %d", churn.N(), model.N()))
 	}
 	n := &Network{
 		model:   model,
@@ -135,7 +165,11 @@ func NewWithMode(model mobility.Model, txRange float64, rng *xrand.Rand, mode To
 		rng:     rng,
 		mode:    mode,
 		pos:     make([]geom.Point, model.N()),
+		churn:   churn,
 		rec:     &Counters{},
+	}
+	if churn != nil {
+		n.down = make([]bool, model.N())
 	}
 	if mode == IncrementalTopology {
 		n.builder = topology.NewBuilder(model.N(), model.Area(), txRange)
@@ -146,13 +180,27 @@ func NewWithMode(model mobility.Model, txRange float64, rng *xrand.Rand, mode To
 
 func (n *Network) rebuild(t float64) {
 	n.model.PositionsAt(t, n.pos)
+	if n.churn != nil {
+		n.wentDown, n.cameUp = n.wentDown[:0], n.cameUp[:0]
+		for i := range n.down {
+			up := n.churn.UpAt(i, t)
+			if up == n.down[i] { // state flip (down stores the negation)
+				if up {
+					n.cameUp = append(n.cameUp, NodeID(i))
+				} else {
+					n.wentDown = append(n.wentDown, NodeID(i))
+				}
+				n.down[i] = !up
+			}
+		}
+	}
 	switch n.mode {
 	case IncrementalTopology:
-		n.graph = n.builder.Update(n.pos)
+		n.graph = n.builder.UpdateMasked(n.pos, n.down)
 	case NaiveTopology:
-		n.graph = topology.BuildNaive(n.pos, n.model.Area(), n.txRange)
+		n.graph = topology.BuildNaiveMasked(n.pos, n.model.Area(), n.txRange, n.down)
 	default:
-		n.graph = topology.Build(n.pos, n.model.Area(), n.txRange)
+		n.graph = topology.BuildMasked(n.pos, n.model.Area(), n.txRange, n.down)
 	}
 	n.now = t
 	n.epoch++
@@ -190,6 +238,39 @@ func (n *Network) TopologyMode() TopologyMode { return n.mode }
 // Rng returns the network's deterministic random stream (used by protocols
 // for forwarding choices).
 func (n *Network) Rng() *xrand.Rand { return n.rng }
+
+// HasChurn reports whether the network runs a node up/down schedule.
+func (n *Network) HasChurn() bool { return n.churn != nil }
+
+// Up reports whether node u is up in the current snapshot (always true
+// without churn). Down nodes keep their id and position but hold no links
+// and must not originate protocol rounds.
+func (n *Network) Up(u NodeID) bool { return n.down == nil || !n.down[u] }
+
+// Down reports whether node u is churned out of the current snapshot.
+func (n *Network) Down(u NodeID) bool { return n.down != nil && n.down[u] }
+
+// UpCount returns the number of up nodes in the current snapshot.
+func (n *Network) UpCount() int {
+	if n.down == nil {
+		return n.model.N()
+	}
+	c := 0
+	for _, d := range n.down {
+		if !d {
+			c++
+		}
+	}
+	return c
+}
+
+// ChurnedDown lists the nodes that went down at the most recent refresh.
+// The slice is valid until the next refresh; do not mutate or retain it.
+func (n *Network) ChurnedDown() []NodeID { return n.wentDown }
+
+// ChurnedUp lists the nodes readmitted at the most recent refresh. The
+// slice is valid until the next refresh; do not mutate or retain it.
+func (n *Network) ChurnedUp() []NodeID { return n.cameUp }
 
 // Adjacent reports whether u and v currently share a link.
 func (n *Network) Adjacent(u, v NodeID) bool { return n.graph.Adjacent(u, v) }

@@ -1,15 +1,22 @@
 // Package mobility provides node-movement models for the MANET simulator.
 //
 // The paper evaluates CARD under the random way-point (RWP) model; the
-// package also offers Static (the paper's sensor-network motivation) and a
-// bounded RandomWalk for robustness experiments.
+// package also offers Static (the paper's sensor-network motivation), a
+// bounded RandomWalk for robustness experiments, and the scenario-diversity
+// models the small-worlds companion work motivates: GaussMarkov (smooth
+// autoregressive drift with tunable memory), RPGM (reference-point group
+// mobility — coherent groups with bounded member jitter), and TraceReplay
+// (ns-2 setdest traces with piecewise-linear interpolation, so external
+// workloads become first-class scenarios).
 //
-// Models are *analytic*: Positions(t) is a pure function of the model's
-// seed and t for the RWP model (each node follows a deterministic sequence
-// of legs), so the simulator can sample positions at arbitrary times without
-// integrating, and two samplings of the same time agree exactly.
-// Implementations are stateful only as a cache of the current leg; sampling
-// times must be non-decreasing per model instance.
+// Waypoint-style models (RWP, RPGM, TraceReplay) are *analytic*:
+// Positions(t) is a pure function of the model's seed and t (each node
+// follows a deterministic sequence of legs), so the simulator can sample
+// positions at arbitrary times without integrating, and two samplings of
+// the same time agree exactly. Velocity-process models (RandomWalk,
+// GaussMarkov) integrate in fixed epochs instead. All implementations are
+// deterministic per construction seed — each node owns a derived RNG
+// stream — and require non-decreasing sampling times per model instance.
 package mobility
 
 import (
@@ -168,6 +175,10 @@ type RandomWalk struct {
 	pos   []geom.Point
 	vel   []geom.Point
 	now   float64
+	// phase is the time integrated since the last direction redraw;
+	// redraws fire whenever it completes an epoch, independent of how
+	// finely PositionsAt is sampled.
+	phase float64
 }
 
 // NewRandomWalk creates a random-walk model with the given constant speed
@@ -214,22 +225,38 @@ func (m *RandomWalk) N() int { return len(m.pos) }
 // Area implements Model.
 func (m *RandomWalk) Area() geom.Rect { return m.area }
 
-// PositionsAt implements Model. Advances internal state; t must be
-// non-decreasing.
-func (m *RandomWalk) PositionsAt(t float64, dst []geom.Point) {
-	for t > m.now {
-		dt := t - m.now
-		if dt > m.epoch {
-			dt = m.epoch
+// stepEpochs integrates a velocity-process model from *now to t in steps
+// that never cross an epoch boundary: advance(dt) integrates the current
+// velocities, and onEpoch fires exactly when accumulated time completes an
+// epoch — independent of how finely the caller samples — so sub-epoch
+// sampling cannot starve the velocity process. *phase carries the partial
+// epoch across calls. Shared by RandomWalk and GaussMarkov.
+func stepEpochs(t float64, now, phase *float64, epoch float64, advance func(dt float64), onEpoch func()) {
+	for t > *now {
+		dt := t - *now
+		if remain := epoch - *phase; dt >= remain {
+			advance(remain)
+			*now += remain
+			onEpoch()
+			*phase = 0
+			continue
 		}
-		m.advance(dt)
-		m.now += dt
-		if dt == m.epoch {
-			for i := range m.rngs {
-				m.redraw(i)
-			}
-		}
+		advance(dt)
+		*now += dt
+		*phase += dt
 	}
+}
+
+// PositionsAt implements Model. Advances internal state; t must be
+// non-decreasing. Direction redraws fire whenever integrated time
+// completes an epoch — also across calls — so sub-epoch sampling does not
+// starve them.
+func (m *RandomWalk) PositionsAt(t float64, dst []geom.Point) {
+	stepEpochs(t, &m.now, &m.phase, m.epoch, m.advance, func() {
+		for i := range m.rngs {
+			m.redraw(i)
+		}
+	})
 	copy(dst, m.pos)
 }
 

@@ -11,6 +11,12 @@ import (
 // implementation: the grid and incremental builders must produce
 // byte-identical adjacency, and the scaling benchmarks measure against it.
 func BuildNaive(pos []geom.Point, area geom.Rect, txRange float64) *Graph {
+	return BuildNaiveMasked(pos, area, txRange, nil)
+}
+
+// BuildNaiveMasked is BuildNaive with the node-exclusion mask of
+// BuildMasked; it is the correctness reference for churned topologies.
+func BuildNaiveMasked(pos []geom.Point, area geom.Rect, txRange float64, down []bool) *Graph {
 	if txRange <= 0 {
 		panic("topology: non-positive transmission range")
 	}
@@ -22,7 +28,13 @@ func BuildNaive(pos []geom.Point, area geom.Rect, txRange float64) *Graph {
 	}
 	r2 := txRange * txRange
 	for i := range g.pos {
+		if isDown(down, i) {
+			continue
+		}
 		for j := i + 1; j < len(g.pos); j++ {
+			if isDown(down, j) {
+				continue
+			}
 			if g.pos[i].Dist2(g.pos[j]) <= r2 {
 				// Ascending append on both sides keeps adjacency sorted
 				// without an explicit sort pass.
@@ -58,6 +70,10 @@ type Builder struct {
 	links   int
 	built   bool
 
+	// down mirrors the exclusion mask of the last update: down nodes live
+	// outside the grid and carry no links (see UpdateMasked).
+	down []bool
+
 	// Generation-stamped scratch: avoids clearing O(N) marker arrays on
 	// every update.
 	gen        uint64
@@ -85,6 +101,7 @@ func NewBuilder(n int, area geom.Rect, txRange float64) *Builder {
 		grid:       geom.NewGrid(area, txRange),
 		pos:        make([]geom.Point, n),
 		adj:        make([][]NodeID, n),
+		down:       make([]bool, n),
 		movedStamp: make([]uint64, n),
 	}
 }
@@ -95,18 +112,31 @@ func (b *Builder) N() int { return len(b.pos) }
 // Update brings the graph to the given positions (length must equal N) and
 // returns the refreshed snapshot. The snapshot aliases builder storage and
 // is invalidated by the next Update.
-func (b *Builder) Update(pos []geom.Point) *Graph {
+func (b *Builder) Update(pos []geom.Point) *Graph { return b.UpdateMasked(pos, nil) }
+
+// UpdateMasked is Update with a node-exclusion mask (see BuildMasked): a
+// node with down[i] true holds no links until it comes back up. State
+// flips are handled incrementally like movement — a node going down is
+// pulled from the grid and its neighbors' lists are patched; a node coming
+// back up is re-inserted at its current position and rescanned — so churn
+// costs O(flipped·degree) per refresh, not a rebuild. A nil mask means
+// every node is up.
+func (b *Builder) UpdateMasked(pos []geom.Point, down []bool) *Graph {
 	if len(pos) != len(b.pos) {
 		panic("topology: Builder.Update with mismatched position count")
 	}
+	if down != nil && len(down) != len(b.pos) {
+		panic("topology: Builder.Update with mismatched mask length")
+	}
 	if !b.built {
-		b.fullBuild(pos)
+		b.fullBuild(pos, down)
 		b.built = true
 		return b.snapshot()
 	}
+	// Dirty set: nodes that moved or flipped up/down state.
 	b.moved = b.moved[:0]
 	for i, p := range pos {
-		if p != b.pos[i] {
+		if p != b.pos[i] || isDown(down, i) != b.down[i] {
 			b.moved = append(b.moved, NodeID(i))
 		}
 	}
@@ -114,81 +144,97 @@ func (b *Builder) Update(pos []geom.Point) *Graph {
 		return b.snapshot()
 	}
 	if float64(len(b.moved)) > fullRebuildFraction*float64(len(pos)) {
-		b.fullBuild(pos)
+		b.fullBuild(pos, down)
 		return b.snapshot()
 	}
-	b.incremental(pos)
+	b.incremental(pos, down)
 	return b.snapshot()
 }
 
 // fullBuild rebuilds grid and adjacency from scratch (reusing storage).
-func (b *Builder) fullBuild(pos []geom.Point) {
+func (b *Builder) fullBuild(pos []geom.Point, down []bool) {
 	copy(b.pos, pos)
+	for i := range b.down {
+		b.down[i] = isDown(down, i)
+	}
 	b.grid.Reset()
 	for i, p := range b.pos {
-		b.grid.Insert(int32(i), p)
+		if !b.down[i] {
+			b.grid.Insert(int32(i), p)
+		}
 	}
 	r2 := b.txRange * b.txRange
 	for i, p := range b.pos {
 		u := NodeID(i)
 		adj := b.adj[u][:0]
-		x0, y0, x1, y1 := b.grid.BucketRange(p, b.txRange)
-		for y := y0; y <= y1; y++ {
-			for x := x0; x <= x1; x++ {
-				for _, v := range b.grid.Bucket(x, y) {
-					if v != u && p.Dist2(b.pos[v]) <= r2 {
-						adj = append(adj, v)
+		if !b.down[u] {
+			x0, y0, x1, y1 := b.grid.BucketRange(p, b.txRange)
+			for y := y0; y <= y1; y++ {
+				for x := x0; x <= x1; x++ {
+					for _, v := range b.grid.Bucket(x, y) {
+						if v != u && p.Dist2(b.pos[v]) <= r2 {
+							adj = append(adj, v)
+						}
 					}
 				}
 			}
+			sortIDs(adj)
 		}
-		sortIDs(adj)
 		b.adj[u] = adj
 	}
 	b.recountLinks()
 }
 
-// incremental applies a subset-moved update: re-bucket the moved nodes,
-// rescan their neighborhoods via the grid, and patch stationary nodes'
-// lists only where an edge actually appeared or disappeared. At fine
-// sensing rates a moving node's displacement per refresh is a fraction of
-// the radio range, so its edge set is usually unchanged and the patching
-// step does no work at all — the steady-state cost is the moved nodes'
-// grid rescans.
-func (b *Builder) incremental(pos []geom.Point) {
+// incremental applies a subset-dirty update: re-bucket the moved (and
+// state-flipped) nodes, rescan their neighborhoods via the grid, and patch
+// stationary nodes' lists only where an edge actually appeared or
+// disappeared. At fine sensing rates a moving node's displacement per
+// refresh is a fraction of the radio range, so its edge set is usually
+// unchanged and the patching step does no work at all — the steady-state
+// cost is the dirty nodes' grid rescans.
+func (b *Builder) incremental(pos []geom.Point, down []bool) {
 	b.gen++
 	gen := b.gen
 	for _, m := range b.moved {
 		b.movedStamp[m] = gen
 	}
 
-	// 1. Re-bucket the moved nodes at their new positions.
+	// 1. Re-bucket the dirty nodes at their new positions and states. Down
+	// nodes live outside the grid entirely: a node that was up leaves the
+	// grid, and only nodes that are (still or newly) up re-enter it.
 	for _, m := range b.moved {
-		b.grid.Remove(int32(m), b.pos[m])
+		if !b.down[m] {
+			b.grid.Remove(int32(m), b.pos[m])
+		}
 		b.pos[m] = pos[m]
-		b.grid.Insert(int32(m), b.pos[m])
+		b.down[m] = isDown(down, int(m))
+		if !b.down[m] {
+			b.grid.Insert(int32(m), b.pos[m])
+		}
 	}
 
-	// 2. Rescan each moved node against the updated grid, then merge-diff
-	// the sorted old and new lists: stationary endpoints of vanished edges
-	// drop m, stationary endpoints of new edges gain m (sorted in place,
-	// O(degree)). Moved–moved edges need no patching — each endpoint's own
-	// rescan settles its list.
+	// 2. Rescan each dirty node against the updated grid (a down node's new
+	// list is empty), then merge-diff the sorted old and new lists:
+	// stationary endpoints of vanished edges drop m, stationary endpoints
+	// of new edges gain m (sorted in place, O(degree)). Dirty–dirty edges
+	// need no patching — each endpoint's own rescan settles its list.
 	r2 := b.txRange * b.txRange
 	for _, m := range b.moved {
 		p := b.pos[m]
 		newAdj := b.newAdj[:0]
-		x0, y0, x1, y1 := b.grid.BucketRange(p, b.txRange)
-		for y := y0; y <= y1; y++ {
-			for x := x0; x <= x1; x++ {
-				for _, v := range b.grid.Bucket(x, y) {
-					if v != m && p.Dist2(b.pos[v]) <= r2 {
-						newAdj = append(newAdj, v)
+		if !b.down[m] {
+			x0, y0, x1, y1 := b.grid.BucketRange(p, b.txRange)
+			for y := y0; y <= y1; y++ {
+				for x := x0; x <= x1; x++ {
+					for _, v := range b.grid.Bucket(x, y) {
+						if v != m && p.Dist2(b.pos[v]) <= r2 {
+							newAdj = append(newAdj, v)
+						}
 					}
 				}
 			}
+			sortIDs(newAdj)
 		}
-		sortIDs(newAdj)
 		b.newAdj = newAdj // keep the (possibly grown) scratch buffer
 
 		old := b.adj[m]

@@ -39,6 +39,14 @@ type Graph struct {
 // are adjacent iff dist(u,v) <= txRange. Runs in O(N·density) via a uniform
 // grid.
 func Build(pos []geom.Point, area geom.Rect, txRange float64) *Graph {
+	return BuildMasked(pos, area, txRange, nil)
+}
+
+// BuildMasked is Build with a node-exclusion mask: nodes with down[i] true
+// take part in no links (their adjacency is empty and no other node lists
+// them), modeling churned-out devices whose radios are off while their
+// ids — and positions — persist. A nil mask means every node is up.
+func BuildMasked(pos []geom.Point, area geom.Rect, txRange float64, down []bool) *Graph {
 	if txRange <= 0 {
 		panic("topology: non-positive transmission range")
 	}
@@ -50,10 +58,15 @@ func Build(pos []geom.Point, area geom.Rect, txRange float64) *Graph {
 	}
 	grid := geom.NewGrid(area, txRange)
 	for i, p := range g.pos {
-		grid.Insert(NodeID(i), p)
+		if !isDown(down, i) {
+			grid.Insert(NodeID(i), p)
+		}
 	}
 	r2 := txRange * txRange
 	for i, p := range g.pos {
+		if isDown(down, i) {
+			continue
+		}
 		u := NodeID(i)
 		x0, y0, x1, y1 := grid.BucketRange(p, txRange)
 		for y := y0; y <= y1; y++ {
@@ -72,6 +85,9 @@ func Build(pos []geom.Point, area geom.Rect, txRange float64) *Graph {
 	g.links /= 2
 	return g
 }
+
+// isDown reads an optional exclusion mask (nil = all up).
+func isDown(down []bool, i int) bool { return down != nil && down[i] }
 
 // N returns the number of nodes.
 func (g *Graph) N() int { return len(g.pos) }

@@ -1,0 +1,58 @@
+package card
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"card/internal/engine"
+	"card/internal/experiments"
+)
+
+// TestReadmeListsEverything is the docs gate CI runs: README.md must name
+// every registered workload preset and every experiment id, so the front
+// door cannot silently fall behind the code. Names are matched as
+// backquoted table cells, the way the README renders them.
+func TestReadmeListsEverything(t *testing.T) {
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("README.md missing: %v", err)
+	}
+	readme := string(b)
+	for _, p := range engine.Presets() {
+		if !strings.Contains(readme, "`"+p.Name+"`") {
+			t.Errorf("README.md does not list preset %q", p.Name)
+		}
+	}
+	for _, id := range experiments.Names() {
+		if !strings.Contains(readme, "`"+id+"`") {
+			t.Errorf("README.md does not list experiment %q", id)
+		}
+	}
+}
+
+// TestReadmeCommandsExist spot-checks that the flags the quickstart
+// invokes are real: a stale README is as bad as none.
+func TestReadmeCommandsExist(t *testing.T) {
+	b, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(b)
+	for _, preset := range []string{"citywide-rwp-1k", "rescue-groups-1k"} {
+		if !strings.Contains(readme, preset) {
+			t.Errorf("README quickstart lost preset %s", preset)
+		}
+		if _, err := engine.LookupPreset(preset); err != nil {
+			t.Errorf("README names unknown preset: %v", err)
+		}
+	}
+	if _, err := experiments.Lookup("fig7"); err != nil {
+		t.Errorf("README names unknown experiment: %v", err)
+	}
+	for _, f := range []string{"-preset", "-presets", "-exp", "-list", "-churn", "-trace", "-scale", "-seeds"} {
+		if !strings.Contains(readme, f) {
+			t.Errorf("README no longer documents cardsim flag %s", f)
+		}
+	}
+}
