@@ -377,6 +377,36 @@ func BenchmarkAdvanceGM5k(b *testing.B)     { benchScenarioAdvance(b, "citywide-
 func BenchmarkAdvanceGroups1k(b *testing.B) { benchScenarioAdvance(b, "rescue-groups-1k") }
 func BenchmarkAdvanceChurn2k(b *testing.B)  { benchScenarioAdvance(b, "churn-2k") }
 
+// BenchmarkWorkloadSustained1k measures the sustained-traffic engine end
+// to end on the citywide-rwp-1k preset: each iteration streams 5 simulated
+// seconds of 200 qps Zipf-skewed open-loop query traffic, interleaving
+// mobility, topology refreshes and maintenance rounds with the sharded
+// per-tick query batches. CI records it as BENCH_4.json — the cost record
+// for the serving-scale path every future caching/replication feature
+// lands on.
+func BenchmarkWorkloadSustained1k(b *testing.B) {
+	sim, err := NewPresetSimulation("citywide-rwp-1k", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.SelectContacts()
+	var last *WorkloadReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := sim.RunWorkload(WorkloadConfig{
+			QPS: 200, Duration: 5, Resources: 256, Replicas: 4, ZipfS: 0.9,
+			Seed: uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep
+	}
+	b.ReportMetric(last.SuccessPct, "success-%")
+	b.ReportMetric(last.Messages.P95, "msgs-p95")
+	b.ReportMetric(float64(last.Queries)/5, "achieved-qps")
+}
+
 // BenchmarkMaintenanceRound measures a network-wide validation round under
 // mobility.
 func BenchmarkMaintenanceRound(b *testing.B) {

@@ -4,6 +4,7 @@ import (
 	proto "card/internal/card"
 	"card/internal/engine"
 	"card/internal/topology"
+	"card/internal/workload"
 )
 
 // NodeID identifies a node; ids are dense in [0, Nodes).
@@ -97,6 +98,35 @@ type MessageCounts = engine.MessageCounts
 
 // Preset is a named ready-to-run workload; see Presets.
 type Preset = engine.Preset
+
+// WorkloadConfig parameterizes a sustained open-loop query-traffic run:
+// Poisson arrivals at QPS, Zipf-skewed resource popularity, sharded query
+// ticks interleaved with mobility and maintenance. See the workload
+// package docs for the traffic model and determinism contract.
+type WorkloadConfig = workload.Config
+
+// WorkloadReport aggregates one sustained-traffic run: success rate,
+// P50/P95/P99 message and hop quantiles over the full stream, and the
+// trailing sliding-window view.
+type WorkloadReport = workload.Report
+
+// WorkloadOutcome is one executed query of a sustained-traffic stream.
+type WorkloadOutcome = workload.Outcome
+
+// WorkloadScheme selects the discovery mechanism sustained traffic
+// exercises; see the Scheme* constants.
+type WorkloadScheme = workload.Scheme
+
+// Discovery schemes for WorkloadConfig.Scheme.
+const (
+	// SchemeCARD runs contact-based discovery (the default), sharded
+	// across workers per tick.
+	SchemeCARD = workload.CARD
+	// SchemeFlood runs the duplicate-suppressed flooding baseline.
+	SchemeFlood = workload.Flood
+	// SchemeExpandingRing runs the TTL-doubling anycast baseline.
+	SchemeExpandingRing = workload.ExpandingRing
+)
 
 // Presets lists the built-in workload presets (dense-sensor-field,
 // sparse-rescue, citywide-rwp-1k/5k/10k, ...), sorted by name.
@@ -195,6 +225,14 @@ func (s *Simulation) Query(src, target NodeID) QueryResult {
 // give equal results at any GOMAXPROCS.
 func (s *Simulation) BatchQuery(pairs []Pair) []QueryResult {
 	return s.e.BatchQuery(pairs)
+}
+
+// RunWorkload drives the simulation with sustained open-loop query
+// traffic per cfg, advancing simulated time by cfg.Duration with mobility
+// and maintenance interleaved tick by tick. The per-query outcome stream
+// is bit-identical between serial and sharded execution at any GOMAXPROCS.
+func (s *Simulation) RunWorkload(cfg WorkloadConfig) (*WorkloadReport, error) {
+	return s.e.RunWorkload(cfg)
 }
 
 // Contacts returns node u's current contact table entries.

@@ -13,6 +13,7 @@
 //	cardsim -preset citywide-rwp-1k   # run one preset end to end
 //	cardsim -preset sparse-rescue -queries 1000 -horizon 30 -topology naive
 //	cardsim -preset citywide-rwp-1k -churn 60,15   # add node churn
+//	cardsim -preset citywide-rwp-1k -qps 200 -zipf 1.1   # sustained traffic
 //	cardsim -trace movements.tcl -tx 100 -horizon 60   # replay an ns-2 trace
 //
 // Experiment ids match the per-experiment index in DESIGN.md.
@@ -29,6 +30,7 @@ import (
 	proto "card/internal/card"
 	"card/internal/engine"
 	"card/internal/experiments"
+	"card/internal/workload"
 )
 
 func main() {
@@ -49,6 +51,8 @@ func main() {
 		horizon  = flag.Float64("horizon", -1, "simulated seconds before querying (-1 = preset default)")
 		seed     = flag.Uint64("seed", 1, "preset run seed")
 		topology = flag.String("topology", "grid", "topology path: grid (incremental), full, naive")
+		qps      = flag.Float64("qps", -1, "sustained query-traffic rate in queries/s (-1 = preset default, 0 = off)")
+		zipf     = flag.Float64("zipf", -1, "resource popularity skew for sustained traffic (-1 = preset default)")
 	)
 	flag.Parse()
 
@@ -68,7 +72,7 @@ func main() {
 	if *preset != "" || *trace != "" {
 		p, err := resolveWorkload(*preset, *trace, *tx, *churn)
 		if err == nil {
-			err = runPreset(p, *queries, *horizon, *seed, *topology)
+			err = runPreset(p, *queries, *horizon, *seed, *topology, resolveTraffic(p, *qps, *zipf))
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cardsim:", err)
@@ -155,10 +159,29 @@ func resolveWorkload(preset, trace string, tx float64, churn string) (engine.Pre
 	return p, nil
 }
 
+// resolveTraffic overlays the -qps/-zipf flags on the preset's suggested
+// sustained-traffic shape. qps 0 disables the phase outright; qps > 0 on a
+// traffic-less preset enables it with the workload defaults.
+func resolveTraffic(p engine.Preset, qps, zipf float64) workload.Config {
+	tr := p.Traffic
+	switch {
+	case qps == 0:
+		tr.QPS = 0
+	case qps > 0:
+		tr.QPS = qps
+	}
+	if zipf >= 0 {
+		tr.ZipfS = zipf
+	}
+	return tr
+}
+
 // runPreset builds the workload, advances it over its horizon, fans a
 // query batch, and reports topology, reachability, traffic and wall-clock
-// numbers — the quickest way to feel a workload's scale.
-func runPreset(p engine.Preset, queries int, horizon float64, seed uint64, topo string) error {
+// numbers — the quickest way to feel a workload's scale. A non-zero
+// traffic config then keeps the clock running under sustained query load
+// and reports the serving-style quantiles.
+func runPreset(p engine.Preset, queries int, horizon float64, seed uint64, topo string, traffic workload.Config) error {
 	switch topo {
 	case "grid", "":
 		p.Net.Topology = engine.SpatialGrid
@@ -227,6 +250,37 @@ func runPreset(p engine.Preset, queries int, horizon float64, seed uint64, topo 
 	fmt.Printf("wall clock [%s topology]: build %v, select %v, advance %v, %d queries %v\n",
 		topoName(topo), build.Round(time.Millisecond), sel.Round(time.Millisecond),
 		adv.Round(time.Millisecond), len(res), q.Round(time.Millisecond))
+
+	if traffic.QPS > 0 {
+		if traffic.Duration <= 0 {
+			traffic.Duration = p.Horizon
+			if traffic.Duration <= 0 {
+				traffic.Duration = 10
+			}
+		}
+		if traffic.Seed == 0 {
+			traffic.Seed = seed ^ 0xc0ffee
+		}
+		start = time.Now()
+		rep, err := e.RunWorkload(traffic)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		fmt.Printf("sustained traffic [%s]: %d queries over %ss @ %g qps (zipf %g, %d resources x%d)\n",
+			rep.Scheme, rep.Queries, trimSeconds(rep.Horizon), rep.Config.QPS,
+			rep.Config.ZipfS, rep.Config.Resources, rep.Config.Replicas)
+		offline := ""
+		if rep.SrcDown > 0 {
+			offline = fmt.Sprintf(" (%d offline sources)", rep.SrcDown)
+		}
+		fmt.Printf("  success %.1f%%%s, msgs/query p50 %.0f p95 %.0f p99 %.0f (mean %.1f)\n",
+			rep.SuccessPct, offline, rep.Messages.P50, rep.Messages.P95, rep.Messages.P99,
+			rep.Messages.Mean)
+		fmt.Printf("  hops p50 %.0f p95 %.0f; trailing window: success %.1f%%, msgs p95 %.0f; wall %v\n",
+			rep.Hops.P50, rep.Hops.P95, rep.WindowSuccessPct, rep.WindowMessages.P95,
+			wall.Round(time.Millisecond))
+	}
 	return nil
 }
 

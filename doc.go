@@ -40,6 +40,10 @@
 //   - Node churn (NetworkConfig.ChurnMeanUp / ChurnMeanDown) schedules
 //     per-node up/down phases from per-node derived streams, so churned
 //     runs — including the parallel paths above — stay reproducible.
+//   - [Simulation.RunWorkload] streams sustained open-loop query traffic
+//     (Poisson arrivals, Zipf-skewed resource popularity) in sharded ticks
+//     interleaved with maintenance; the per-query outcome stream and the
+//     recorder totals equal the serial execution at any GOMAXPROCS.
 //
 // # Scenarios
 //
@@ -75,6 +79,9 @@
 //	results := sim.BatchQuery(sim.RandomPairs(500, 7)) // parallel, bit-identical
 //
 //	sim, err = card.NewPresetSimulation("churn-2k", 42)
+//	report, err := sim.RunWorkload(card.WorkloadConfig{ // sustained traffic
+//	    QPS: 150, Duration: 60, Resources: 256, Replicas: 4, ZipfS: 0.9,
+//	})
 //
 // The experiment harness regenerating every table and figure of the paper
 // lives in cmd/cardsim; see README.md for the preset and experiment

@@ -67,6 +67,11 @@ func (p *Protocol) NewQuerier() *Querier {
 	return &Querier{p: p, visited: make([]uint64, p.net.N())}
 }
 
+// Protocol returns the protocol this Querier executes against, for callers
+// (like the resource layer) that need the neighborhood views alongside the
+// query path.
+func (q *Querier) Protocol() *Protocol { return q.p }
+
 // Flush adds the locally accumulated query/reply tallies to the network
 // recorder and zeroes them. Call after a batch completes (or per query for
 // live accounting); with concurrent Queriers, flush serially after the

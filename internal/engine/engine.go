@@ -50,6 +50,15 @@
 // parallel paths stay bit-identical under churn (the churn equivalence
 // test pins it). Ready-made workloads live in the preset registry
 // (presets.go); each carries a Doc line synthesized from its config.
+//
+// # Sustained workloads
+//
+// RunWorkload (workload.go) layers the open-loop query-traffic subsystem
+// (internal/workload) on the same clock: Poisson arrivals and Zipf
+// resource popularity generated as a pure function of the workload seed,
+// executed in sharded per-tick batches between Advance steps — the
+// per-query outcome stream is bit-identical serial vs sharded at any
+// GOMAXPROCS, including under churn.
 package engine
 
 import (

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	proto "card/internal/card"
+	"card/internal/workload"
 )
 
 // Preset is a named, ready-to-run workload: a network scenario plus a
@@ -26,6 +27,11 @@ type Preset struct {
 	// Horizon is the suggested simulated duration in seconds for a
 	// representative run (0 = static scenario, query-only).
 	Horizon float64
+	// Traffic is the preset's suggested sustained query-traffic shape for
+	// RunWorkload (zero QPS = no sustained-traffic phase). cardsim runs it
+	// after the one-shot query batch and overlays the -qps/-zipf flags on
+	// top; Traffic.Seed 0 means "derive from the run seed".
+	Traffic workload.Config
 }
 
 // DescribeNet renders the scenario facts of a network config as one
@@ -97,6 +103,9 @@ var builtinPresets = []Preset{
 		},
 		Protocol: proto.Config{R: 2, MaxContactDist: 10, NoC: 6, Depth: 2, ValidatePeriod: 2},
 		Horizon:  30,
+		// Moderate serving load: ~100 lookups/s against a 256-entry
+		// catalogue with a hot head (Zipf 0.9), 4 replicas each.
+		Traffic: workload.Config{QPS: 100, Duration: 30, Resources: 256, Replicas: 4, ZipfS: 0.9},
 	},
 	{
 		Name:        "citywide-rwp-5k",
@@ -107,6 +116,9 @@ var builtinPresets = []Preset{
 		},
 		Protocol: proto.Config{R: 2, MaxContactDist: 10, NoC: 8, Depth: 3, ValidatePeriod: 2},
 		Horizon:  30,
+		// The large-scale serving regime: 200 qps over a 512-entry
+		// catalogue, Zipf-hot head, 8 replicas.
+		Traffic: workload.Config{QPS: 200, Duration: 30, Resources: 512, Replicas: 8, ZipfS: 0.9},
 	},
 	{
 		// Density-matched to citywide-rwp-5k (~5.6e-4 nodes/m²): the
@@ -162,6 +174,9 @@ var builtinPresets = []Preset{
 		},
 		Protocol: proto.Config{R: 2, MaxContactDist: 10, NoC: 6, Depth: 2, ValidatePeriod: 2},
 		Horizon:  30,
+		// Sustained load under churn: offered queries keep arriving while
+		// ~a fifth of sources and holders are dark at any instant.
+		Traffic: workload.Config{QPS: 100, Duration: 30, Resources: 256, Replicas: 4, ZipfS: 0.9},
 	},
 }
 

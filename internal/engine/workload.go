@@ -1,0 +1,21 @@
+package engine
+
+import "card/internal/workload"
+
+// RunWorkload drives the engine with cfg's sustained, open-loop query
+// traffic: Poisson arrivals, Zipf-skewed resource popularity, mobility and
+// scheduled maintenance interleaved tick by tick with sharded query
+// batches (see the workload package docs for the traffic model). The
+// per-query outcome stream and the recorder totals are bit-identical
+// between serial and sharded execution at any GOMAXPROCS — the engine's
+// standing equivalence contract, pinned under churn by
+// TestWorkloadParallelEquivalence.
+//
+// RunWorkload advances simulated time by cfg.Duration and must not overlap
+// with Advance, BatchQuery or the other mutating calls.
+func (e *Engine) RunWorkload(cfg workload.Config) (*workload.Report, error) {
+	return workload.Run(e, cfg)
+}
+
+// Engine satisfies the workload driver surface.
+var _ workload.Driver = (*Engine)(nil)

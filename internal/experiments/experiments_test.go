@@ -361,3 +361,43 @@ func TestTablePlot(t *testing.T) {
 		t.Error("non-numeric column plotted")
 	}
 }
+
+func TestRunSustainedQuick(t *testing.T) {
+	tab := RunSustained(quick())
+	if len(tab.Rows) != 3 {
+		t.Fatalf("sustained rows = %d, want 3 schemes", len(tab.Rows))
+	}
+	// Rows: card, flood, ring. Columns: 1 success, 2 offline, 3 mean,
+	// 4 P50, 5 P95, 6 P99.
+	for r := range tab.Rows {
+		succ := cellFloat(t, tab, r, 1)
+		if succ <= 0 || succ > 100 {
+			t.Errorf("row %d: success %v%% out of range", r, succ)
+		}
+		p50 := cellFloat(t, tab, r, 4)
+		p95 := cellFloat(t, tab, r, 5)
+		p99 := cellFloat(t, tab, r, 6)
+		if p50 > p95 || p95 > p99 {
+			t.Errorf("row %d: quantiles not monotone: %v/%v/%v", r, p50, p95, p99)
+		}
+	}
+	// Churn keeps some sources offline in every scheme, identically (the
+	// offered stream is shared).
+	off := cellFloat(t, tab, 0, 2)
+	if off <= 0 {
+		t.Error("churned scenario dropped no sources")
+	}
+	for r := 1; r < 3; r++ {
+		if got := cellFloat(t, tab, r, 2); got != off {
+			t.Errorf("offline %% differs across schemes: %v vs %v — streams not shared", got, off)
+		}
+	}
+	// Flooding answers everything reachable; its success cannot trail the
+	// others and its mean cost must dominate CARD's.
+	if fl, cd := cellFloat(t, tab, 1, 1), cellFloat(t, tab, 0, 1); fl < cd {
+		t.Errorf("flood success %v%% below CARD %v%%", fl, cd)
+	}
+	if fl, cd := cellFloat(t, tab, 1, 3), cellFloat(t, tab, 0, 3); fl <= cd {
+		t.Errorf("flood mean cost %v not above CARD %v", fl, cd)
+	}
+}

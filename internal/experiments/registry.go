@@ -32,6 +32,7 @@ var registry = map[string]Runner{
 	"replication":  RunReplication,
 	"smallworld":   RunSmallWorld,
 	"scale":        RunScale,
+	"sustained":    RunSustained,
 }
 
 // Names returns the sorted experiment ids.
@@ -63,5 +64,5 @@ var PaperOrder = []string{
 // AblationOrder lists the extra design-choice and future-work experiments.
 var AblationOrder = []string{
 	"abl-methods", "abl-recovery", "abl-qd", "abl-mobility",
-	"replication", "smallworld", "scale",
+	"replication", "smallworld", "sustained", "scale",
 }

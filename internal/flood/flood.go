@@ -59,6 +59,42 @@ func QueryTTL(net *manet.Network, src, target NodeID, ttl int, countReply bool) 
 	return res
 }
 
+// Flood charges one full duplicate-suppressed flood from src with no
+// responder: every node in src's connected component (src included)
+// rebroadcasts exactly once, so the cost is the component size. This is
+// the canonical dead-search cost of the flooding baseline — a query for a
+// resource no reachable node holds floods everywhere and dies. Unlike
+// Query with an unreachable proxy target, the charge depends only on src's
+// component, never on which unreachable node a caller happens to name.
+func Flood(net *manet.Network, src NodeID) Result {
+	n := int64(len(net.Graph().BFS(src).Visited))
+	net.Record(manet.CatQuery, n)
+	return Result{Found: false, Messages: n, PathHops: -1}
+}
+
+// RingSweep charges a full expanding-ring escalation with no responder:
+// every TTL ring floods and fails, so the search pays each bounded ring
+// (interior nodes relay, ring-edge leaves receive without relaying) and —
+// under the standard DoublingTTLs schedule — ends in one unbounded
+// component flood. This is the deterministic dead-search cost of the
+// expanding-ring baseline, a function of src's component alone.
+func RingSweep(net *manet.Network, src NodeID, ttls []int) Result {
+	var total int64
+	for _, ttl := range ttls {
+		bfs := net.Graph().BoundedBFS(src, ttl)
+		var relays int64
+		for _, v := range bfs.Visited {
+			if ttl >= 0 && int(bfs.Dist[v]) >= ttl {
+				continue // leaf of the bounded flood: receives, does not relay
+			}
+			relays++
+		}
+		net.Record(manet.CatQuery, relays)
+		total += relays
+	}
+	return Result{Found: false, Messages: total, PathHops: -1}
+}
+
 // ExpandingRing performs the classic expanding-ring search: successive
 // floods with growing TTLs until the target is found or the last ring
 // fails. The paper's §III.C.4 contrasts CARD's directed escalation against

@@ -152,3 +152,50 @@ func TestFloodSelfQuery(t *testing.T) {
 		t.Errorf("self query = %+v", res)
 	}
 }
+
+// TestFloodChargesComponent pins the dead-search primitive: a target-less
+// flood costs exactly one broadcast per node of src's component.
+func TestFloodChargesComponent(t *testing.T) {
+	net := lineNet(10)
+	r := Flood(net, 4)
+	if r.Found || r.PathHops != -1 {
+		t.Errorf("target-less flood reported a find: %+v", r)
+	}
+	if r.Messages != 10 {
+		t.Errorf("flood cost %d messages, want 10 (component size)", r.Messages)
+	}
+	if got := net.Totals().Get(manet.CatQuery); got != 10 {
+		t.Errorf("recorder saw %d query transmissions, want 10", got)
+	}
+}
+
+// TestRingSweepMatchesDeadExpandingRing pins that the explicit dead-search
+// sweep charges exactly what an ExpandingRing escalation toward an
+// unreachable destination charges — the refactor removes the proxy
+// target from the call, not any cost.
+func TestRingSweepMatchesDeadExpandingRing(t *testing.T) {
+	// Two components: a 6-node line and one far node (id 6, unreachable).
+	pts := make([]geom.Point, 6)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i) * 10, Y: 0}
+	}
+	pts = append(pts, geom.Point{X: 500, Y: 500})
+	a := geom.Rect{W: 600, H: 600}
+	build := func() *manet.Network {
+		return manet.New(mobility.NewStatic(pts, a), 15, xrand.New(1))
+	}
+	ttls := DoublingTTLs(8)
+	ref := ExpandingRing(build(), 0, 6, ttls, false)
+	got := RingSweep(build(), 0, ttls)
+	if got.Found || got.PathHops != -1 {
+		t.Errorf("RingSweep reported a find: %+v", got)
+	}
+	if got.Messages != ref.Messages {
+		t.Errorf("RingSweep cost %d != dead ExpandingRing cost %d", got.Messages, ref.Messages)
+	}
+	// The sweep must cost more than one plain flood: every failed ring is
+	// charged before the final unbounded one.
+	if full := Flood(build(), 0); got.Messages <= full.Messages {
+		t.Errorf("sweep (%d) not above one component flood (%d)", got.Messages, full.Messages)
+	}
+}

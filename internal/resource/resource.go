@@ -17,6 +17,7 @@ import (
 	"card/internal/card"
 	"card/internal/flood"
 	"card/internal/manet"
+	"card/internal/neighborhood"
 	"card/internal/topology"
 	"card/internal/xrand"
 )
@@ -35,6 +36,12 @@ type Directory struct {
 	n       int
 	holders map[ID][]NodeID
 	hosted  map[NodeID][]ID
+
+	// PlaceReplicas sampling scratch: sample holds the identity
+	// permutation between calls (each call swaps k positions and swaps
+	// them back), swaps records the positions to undo.
+	sample []NodeID
+	swaps  []int
 }
 
 // NewDirectory creates an empty directory over an n-node network.
@@ -59,14 +66,42 @@ func (d *Directory) Place(id ID, u NodeID) {
 }
 
 // PlaceReplicas registers k distinct uniformly random holders for id.
+//
+// Holders are drawn with a partial Fisher–Yates shuffle over a persistent
+// identity scratch: exactly k swaps forward, then k swaps back, so after
+// the first call placing a resource costs O(k) — not the O(n) time and
+// allocation of the full rng.Perm(n) it replaces. The sampled k-subsets
+// are distributed identically to the Perm(n) prefix, but the draw consumes
+// k values from rng instead of n-1, so placements for a given seed differ
+// from pre-change streams.
 func (d *Directory) PlaceReplicas(id ID, k int, rng *xrand.Rand) {
 	if k > d.n {
 		k = d.n
 	}
-	perm := rng.Perm(d.n)
-	for i := 0; i < k; i++ {
-		d.Place(id, NodeID(perm[i]))
+	if k <= 0 {
+		return
 	}
+	if d.sample == nil {
+		d.sample = make([]NodeID, d.n)
+		for i := range d.sample {
+			d.sample[i] = NodeID(i)
+		}
+		d.swaps = make([]int, 0, k)
+	}
+	s, swaps := d.sample, d.swaps[:0]
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(d.n-i)
+		s[i], s[j] = s[j], s[i]
+		swaps = append(swaps, j)
+		d.Place(id, s[i])
+	}
+	// Undo the swaps in reverse so the scratch is the identity again for
+	// the next call.
+	for i := k - 1; i >= 0; i-- {
+		j := swaps[i]
+		s[i], s[j] = s[j], s[i]
+	}
+	d.swaps = swaps[:0]
 }
 
 // Holders returns the nodes holding id (sorted, copy).
@@ -109,11 +144,27 @@ type Result struct {
 // contact's neighborhood answers, so replication multiplies the effective
 // target set exactly as it would in a real deployment.
 func DiscoverCARD(p *card.Protocol, d *Directory, src NodeID, id ID) Result {
+	return discoverCARD(p.Neighborhood(), p.Query, d, src, id)
+}
+
+// DiscoverCARDWith is DiscoverCARD executing on a caller-owned Querier:
+// message tallies accumulate locally in q (flush after the batch joins)
+// and no shared protocol state is touched, so any number of Queriers may
+// discover concurrently between rounds — the sustained-workload engine
+// shards its per-tick query batches exactly this way.
+func DiscoverCARDWith(q *card.Querier, d *Directory, src NodeID, id ID) Result {
+	return discoverCARD(q.Protocol().Neighborhood(), q.Query, d, src, id)
+}
+
+// discoverCARD is the shared discovery core behind both entry points;
+// query runs one destination search (serial protocol path or per-worker
+// Querier path).
+func discoverCARD(nb neighborhood.Provider, query func(src, dst NodeID) card.QueryResult,
+	d *Directory, src NodeID, id ID) Result {
 	holders := d.holders[id]
 	if len(holders) == 0 {
 		return Result{Found: false, PathHops: -1}
 	}
-	nb := p.Neighborhood()
 	// Local resolution: any holder within the neighborhood table.
 	best := Result{Found: false, PathHops: -1}
 	for _, h := range holders {
@@ -133,7 +184,7 @@ func DiscoverCARD(p *card.Protocol, d *Directory, src NodeID, id ID) Result {
 	// Remote resolution through contacts, holder by holder.
 	var msgs int64
 	for _, h := range holders {
-		r := p.Query(src, h)
+		r := query(src, h)
 		msgs += r.Messages
 		if r.Found {
 			return Result{Found: true, Holder: h, Messages: msgs, PathHops: r.PathHops}
@@ -153,6 +204,9 @@ func DiscoverFlood(net *manet.Network, d *Directory, src NodeID, id ID) Result {
 	if len(holders) == 0 {
 		return Result{Found: false, PathHops: -1}
 	}
+	if r, ok := selfHeld(holders, src); ok {
+		return r
+	}
 	// One flood; nearest reachable holder replies.
 	bfs := net.Graph().BFS(src)
 	nearest := NodeID(-1)
@@ -164,7 +218,12 @@ func DiscoverFlood(net *manet.Network, d *Directory, src NodeID, id ID) Result {
 		}
 	}
 	if nearest < 0 {
-		r := flood.Query(net, src, holders[0], false) // dead flood: full cost
+		// No reachable holder: the query floods src's whole component and
+		// dies. Charging an explicit full-component flood (rather than a
+		// unicast-style query toward holders[0] as a proxy destination)
+		// makes the dead-search cost a function of the topology alone,
+		// identical under any holder insertion order.
+		r := flood.Flood(net, src)
 		return Result{Found: false, Messages: r.Messages, PathHops: -1}
 	}
 	r := flood.Query(net, src, nearest, true)
@@ -178,6 +237,9 @@ func DiscoverExpandingRing(net *manet.Network, d *Directory, src NodeID, id ID) 
 	if len(holders) == 0 {
 		return Result{Found: false, PathHops: -1}
 	}
+	if r, ok := selfHeld(holders, src); ok {
+		return r
+	}
 	bfs := net.Graph().BFS(src)
 	nearest := NodeID(-1)
 	bestDist := int32(1 << 30)
@@ -188,9 +250,27 @@ func DiscoverExpandingRing(net *manet.Network, d *Directory, src NodeID, id ID) 
 		}
 	}
 	if nearest < 0 {
-		r := flood.ExpandingRing(net, src, holders[0], flood.DoublingTTLs(64), false)
+		// No reachable holder: the escalation runs its full TTL schedule
+		// and dies. RingSweep charges exactly that, as a function of src's
+		// component alone — no proxy holder destination involved.
+		r := flood.RingSweep(net, src, flood.DoublingTTLs(64))
 		return Result{Found: false, Messages: r.Messages, PathHops: -1}
 	}
 	r := flood.ExpandingRing(net, src, nearest, flood.DoublingTTLs(64), true)
 	return Result{Found: r.Found, Holder: nearest, Messages: r.Messages, PathHops: r.PathHops}
+}
+
+// selfHeld resolves the query locally when src itself holds the resource:
+// zero control messages, zero hops, under every discovery scheme. The
+// flooding baselines used to skip this check and charge a full flood for a
+// resource the source already had, inflating their overhead relative to
+// DiscoverCARD (which has always answered locally) and skewing every
+// cost comparison under replication.
+func selfHeld(holders []NodeID, src NodeID) (Result, bool) {
+	for _, h := range holders {
+		if h == src {
+			return Result{Found: true, Holder: src, PathHops: 0}, true
+		}
+	}
+	return Result{}, false
 }

@@ -263,3 +263,142 @@ func TestDiscoverUnreachableHolder(t *testing.T) {
 		t.Errorf("ring found unreachable holder: %+v", r)
 	}
 }
+
+// TestSelfHeldResourceIsFreeEverywhere is the baseline-fairness regression
+// pin: a resource the source itself holds costs zero messages and zero
+// hops under all three discovery schemes. The flooding baselines used to
+// charge a full flood here, inflating their overhead against CARD.
+func TestSelfHeldResourceIsFreeEverywhere(t *testing.T) {
+	net := testNet(8, 150)
+	p := testProtocol(t, net)
+	d := NewDirectory(150)
+	src := NodeID(3)
+	// Bury the self-placement among other holders so the short-circuit is
+	// exercised past the first list entry.
+	d.Place(1, 90)
+	d.Place(1, src)
+	d.Place(1, 10)
+	for name, r := range map[string]Result{
+		"card":  DiscoverCARD(p, d, src, 1),
+		"flood": DiscoverFlood(net, d, src, 1),
+		"ring":  DiscoverExpandingRing(net, d, src, 1),
+	} {
+		if !r.Found || r.Holder != src || r.Messages != 0 || r.PathHops != 0 {
+			t.Errorf("%s: self-held resource = %+v, want found at holder %d, 0 msgs, 0 hops",
+				name, r, src)
+		}
+	}
+}
+
+// deadNet builds a two-component topology: a connected cluster around src
+// and three isolated far nodes to use as unreachable holders.
+func deadNet() *manet.Network {
+	pts := []geom.Point{
+		{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 20, Y: 0}, {X: 10, Y: 10}, // cluster
+		{X: 500, Y: 500}, {X: 560, Y: 500}, {X: 500, Y: 560}, // isolated holders
+	}
+	a := geom.Rect{W: 600, H: 600}
+	return manet.New(mobility.NewStatic(pts, a), 15, xrand.New(1))
+}
+
+// TestDeadSearchCostHolderOrderInvariant pins the second fairness fix: when
+// no holder is reachable, the charged cost is the explicit full-component
+// flood (or full ring escalation) from src — identical under every holder
+// insertion order, and never a function of holders[0].
+func TestDeadSearchCostHolderOrderInvariant(t *testing.T) {
+	orders := [][]NodeID{{4, 5, 6}, {6, 4, 5}, {5, 6, 4}}
+	var floodCosts, ringCosts []int64
+	for _, order := range orders {
+		d := NewDirectory(7)
+		for _, h := range order {
+			d.Place(2, h)
+		}
+		rf := DiscoverFlood(deadNet(), d, 0, 2)
+		rr := DiscoverExpandingRing(deadNet(), d, 0, 2)
+		if rf.Found || rr.Found {
+			t.Fatalf("found unreachable holders: flood=%+v ring=%+v", rf, rr)
+		}
+		floodCosts = append(floodCosts, rf.Messages)
+		ringCosts = append(ringCosts, rr.Messages)
+	}
+	for i := 1; i < len(orders); i++ {
+		if floodCosts[i] != floodCosts[0] {
+			t.Errorf("flood dead cost varies with holder order: %v", floodCosts)
+		}
+		if ringCosts[i] != ringCosts[0] {
+			t.Errorf("ring dead cost varies with holder order: %v", ringCosts)
+		}
+	}
+	// The flood charge is exactly src's component size (4 nodes).
+	if floodCosts[0] != 4 {
+		t.Errorf("dead flood cost = %d, want 4 (component size)", floodCosts[0])
+	}
+	// The ring escalation pays every failed ring plus the final full
+	// flood, so it must exceed the single flood.
+	if ringCosts[0] <= floodCosts[0] {
+		t.Errorf("dead ring cost %d not above dead flood cost %d", ringCosts[0], floodCosts[0])
+	}
+}
+
+// TestDiscoverCARDWithMatchesSerial pins that the Querier-based discovery
+// path returns identical results to the serial protocol path (it is the
+// unit the workload layer shards across workers).
+func TestDiscoverCARDWithMatchesSerial(t *testing.T) {
+	netA, netB := testNet(9, 250), testNet(9, 250)
+	pa, pb := testProtocol(t, netA), testProtocol(t, netB)
+	rng := xrand.New(21)
+	d := NewDirectory(250)
+	for id := 0; id < 20; id++ {
+		d.PlaceReplicas(ID(id), 2, rng.Derive(uint64(id)))
+	}
+	q := pb.NewQuerier()
+	for trial := 0; trial < 60; trial++ {
+		src := NodeID(rng.Intn(250))
+		id := ID(rng.Intn(20))
+		serial := DiscoverCARD(pa, d, src, id)
+		batch := DiscoverCARDWith(q, d, src, id)
+		if serial != batch {
+			t.Fatalf("trial %d (src %d, id %d): serial %+v != querier %+v",
+				trial, src, id, serial, batch)
+		}
+	}
+	q.Flush()
+	if ta, tb := netA.Totals(), netB.Totals(); ta != tb {
+		t.Errorf("accounting diverges: serial %v, querier %v", ta, tb)
+	}
+}
+
+// TestPlaceReplicasScratchRestored pins the partial Fisher–Yates
+// bookkeeping: the identity scratch is restored after every call, so a
+// placement depends only on the rng state, not on placement history.
+func TestPlaceReplicasScratchRestored(t *testing.T) {
+	fresh := NewDirectory(200)
+	fresh.PlaceReplicas(1, 7, xrand.New(9))
+	reused := NewDirectory(200)
+	reused.PlaceReplicas(50, 23, xrand.New(1)) // dirty the scratch first
+	reused.PlaceReplicas(51, 200, xrand.New(2))
+	reused.PlaceReplicas(1, 7, xrand.New(9))
+	a, b := fresh.Holders(1), reused.Holders(1)
+	if len(a) != 7 || len(b) != 7 {
+		t.Fatalf("holder counts = %d, %d, want 7", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("placement depends on history: %v vs %v", a, b)
+		}
+	}
+}
+
+// BenchmarkPlaceReplicas measures placing k replicas into an n-node
+// directory — the allocation hot spot the partial Fisher–Yates draw fixes
+// (the old full Perm(n) cost O(n) time and memory per resource).
+func BenchmarkPlaceReplicas(b *testing.B) {
+	const n, k = 10000, 8
+	d := NewDirectory(n)
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PlaceReplicas(ID(i), k, rng)
+	}
+}

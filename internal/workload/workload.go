@@ -1,0 +1,370 @@
+// Package workload drives a CARD engine with sustained, open-loop query
+// traffic — the serving-scale counterpart to the one-shot query batches
+// the paper evaluates with.
+//
+// # Traffic model
+//
+// Requests arrive as a Poisson process at Config.QPS queries per simulated
+// second (exponential inter-arrival gaps via xrand.ExpFloat64). Each
+// request names a resource drawn from a Zipf-skewed popularity
+// distribution over a fixed catalogue (xrand.Zipf; rank 0 hottest) and
+// originates at a uniformly random node. The stream is *open loop*: the
+// offered load never adapts to outcomes, matching how the Rendezvous
+// Regions and mobility-assisted-discovery evaluations (PAPERS.md) model
+// request streams.
+//
+// # Execution and determinism
+//
+// Time advances in ticks (Config.Tick): arrivals falling inside a tick
+// execute together against the snapshot at the tick's end, after the
+// driver has run mobility, churn expiry and any maintenance rounds
+// scheduled inside the tick. The whole request sequence — arrival times,
+// sources, resources, holder placements — is generated from Config.Seed
+// with fixed draw counts per query, so it is a pure function of the
+// configuration: every scheme, worker bound and GOMAXPROCS sees the
+// identical offered load.
+//
+// CARD ticks shard across workers with the engine's batch-query recipe
+// (neighborhood views warmed before the fan-out, one card.Querier per
+// worker, tallies flushed serially in worker order after the join), making
+// the per-query outcome stream and the recorder totals bit-identical
+// between serial and sharded execution at any GOMAXPROCS — the same
+// equivalence contract the maintenance rounds honor, pinned by
+// TestWorkloadParallelEquivalence in the engine package. The flooding
+// baselines account through the shared network recorder and run serially.
+package workload
+
+import (
+	"fmt"
+
+	"card/internal/card"
+	"card/internal/manet"
+	"card/internal/neighborhood"
+	"card/internal/par"
+	"card/internal/resource"
+	"card/internal/stats"
+	"card/internal/topology"
+	"card/internal/xrand"
+)
+
+// NodeID aliases the topology node index type.
+type NodeID = topology.NodeID
+
+// Scheme selects the discovery mechanism the traffic exercises.
+type Scheme int
+
+const (
+	// CARD runs contact-based discovery, sharded across workers per tick.
+	CARD Scheme = iota
+	// Flood runs the duplicate-suppressed flooding baseline (serial: the
+	// flood primitives account through the shared network recorder).
+	Flood
+	// ExpandingRing runs the TTL-doubling anycast baseline (serial).
+	ExpandingRing
+	numSchemes
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case CARD:
+		return "card"
+	case Flood:
+		return "flood"
+	case ExpandingRing:
+		return "ring"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Config parameterizes one sustained-traffic run.
+type Config struct {
+	// QPS is the mean arrival rate in queries per simulated second (> 0).
+	QPS float64
+	// Duration is how long to keep the stream open, in simulated seconds
+	// (> 0), starting at the driver's current time.
+	Duration float64
+	// Tick is the batching granularity in seconds: arrivals within one
+	// tick execute together at its end, after the driver has advanced
+	// mobility and maintenance through it (default 0.5).
+	Tick float64
+	// Resources is the catalogue size (default 128).
+	Resources int
+	// Replicas is the number of holders placed per resource (default 1).
+	Replicas int
+	// ZipfS is the popularity skew: request popularity follows
+	// P(rank k) ∝ 1/(k+1)^ZipfS. 0 (the default) is uniform.
+	ZipfS float64
+	// Window is the sliding-window size for the trailing quantiles
+	// (default 256 queries).
+	Window int
+	// Scheme selects the discovery mechanism (default CARD).
+	Scheme Scheme
+	// Seed drives the placement and arrival streams. The request sequence
+	// is a pure function of (Seed, QPS, Duration, Tick, Resources,
+	// Replicas, ZipfS) — it never reads simulation state — so runs that
+	// share these fields offer the identical load to every scheme.
+	Seed uint64
+	// Workers bounds the per-tick CARD query fan-out: 0 (default) uses up
+	// to GOMAXPROCS, 1 forces the serial reference path. Outcomes are
+	// bit-identical at every setting.
+	Workers int
+	// KeepOutcomes retains the full per-query outcome stream in the
+	// report (the equivalence tests pin it); leave false for long runs.
+	KeepOutcomes bool
+}
+
+func (c *Config) fill() error {
+	if !(c.QPS > 0) {
+		return fmt.Errorf("workload: need QPS > 0, got %g", c.QPS)
+	}
+	if !(c.Duration > 0) {
+		return fmt.Errorf("workload: need Duration > 0, got %g", c.Duration)
+	}
+	if c.Tick < 0 {
+		return fmt.Errorf("workload: negative Tick %g", c.Tick)
+	}
+	if c.Tick == 0 {
+		c.Tick = 0.5
+	}
+	if c.Resources < 0 || c.Replicas < 0 || c.Window < 0 {
+		return fmt.Errorf("workload: negative Resources/Replicas/Window")
+	}
+	if c.Resources == 0 {
+		c.Resources = 128
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if !(c.ZipfS >= 0) {
+		return fmt.Errorf("workload: need ZipfS >= 0, got %g", c.ZipfS)
+	}
+	if c.Window == 0 {
+		c.Window = 256
+	}
+	if c.Scheme < 0 || c.Scheme >= numSchemes {
+		return fmt.Errorf("workload: unknown scheme %d", int(c.Scheme))
+	}
+	return nil
+}
+
+// Query is one offered request of the open-loop stream.
+type Query struct {
+	// T is the arrival time in simulated seconds.
+	T float64
+	// Src is the requesting node.
+	Src NodeID
+	// Resource is the requested resource (its Zipf popularity rank).
+	Resource resource.ID
+}
+
+// Outcome is one executed query with its result.
+type Outcome struct {
+	Query
+	// SrcDown marks arrivals whose source was churned down at execution
+	// time: the request is counted as offered load and as a failure, but
+	// no discovery runs and no messages are charged.
+	SrcDown bool
+	// Found reports whether some holder was located.
+	Found bool
+	// Messages is the control traffic of the discovery.
+	Messages int64
+	// Hops is the route length to the holder, or -1.
+	Hops int
+}
+
+// Report aggregates one sustained-traffic run.
+type Report struct {
+	Scheme Scheme
+	// Config is the effective configuration of the run, with defaults
+	// filled — what consumers should display, since zero fields in the
+	// requested config resolve here.
+	Config Config
+	// Queries is the total offered load (arrivals, including SrcDown).
+	Queries int
+	// Found counts successful discoveries.
+	Found int
+	// SrcDown counts arrivals dropped because the source was churned down.
+	SrcDown int
+	// Horizon is the simulated time the stream covered, in seconds.
+	Horizon float64
+	// SuccessPct is 100·Found/Queries (0 when no queries arrived).
+	SuccessPct float64
+	// Messages summarizes per-query control messages over the executed
+	// stream (SrcDown arrivals excluded: they sent nothing).
+	Messages stats.Summary
+	// Hops summarizes route lengths over successful queries.
+	Hops stats.Summary
+	// WindowMessages / WindowSuccessPct are the trailing sliding-window
+	// view at stream end: the last Config.Window executed (respectively
+	// offered) queries.
+	WindowMessages   stats.Summary
+	WindowSuccessPct float64
+	// Outcomes is the full per-query stream when Config.KeepOutcomes.
+	Outcomes []Outcome
+}
+
+// Driver is the engine-shaped surface the workload drives. engine.Engine
+// implements it; the interface keeps this package below the engine layer
+// (the engine wraps Run as Engine.RunWorkload).
+type Driver interface {
+	// Advance moves simulated time forward dt seconds, running scheduled
+	// maintenance (and churn expiry) on the way.
+	Advance(dt float64)
+	// Now returns the current simulation time.
+	Now() float64
+	// Nodes returns the network size.
+	Nodes() int
+	// Protocol exposes the CARD protocol instance queries run against.
+	Protocol() *card.Protocol
+	// Network exposes the substrate (topology, churn mask, recorder).
+	Network() *manet.Network
+}
+
+// Run drives d with cfg's traffic and reports the outcome stream. The
+// directory of resource holders is placed from cfg.Seed before traffic
+// starts; the driver's clock advances by cfg.Duration.
+func Run(d Driver, cfg Config) (*Report, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	n := d.Nodes()
+	root := xrand.New(cfg.Seed)
+	// Stream 0 places holders; stream 1 generates arrivals. Each query
+	// consumes exactly three draws (gap, source, resource) so the sequence
+	// never shifts with outcomes or simulation state.
+	place := root.Derive(0)
+	arrivals := root.Derive(1)
+	dir := resource.NewDirectory(n)
+	for id := 0; id < cfg.Resources; id++ {
+		dir.PlaceReplicas(resource.ID(id), cfg.Replicas, place)
+	}
+	zipf := xrand.NewZipf(cfg.Resources, cfg.ZipfS)
+
+	rep := &Report{Scheme: cfg.Scheme, Config: cfg, Horizon: cfg.Duration}
+	winMsgs := stats.NewWindow(cfg.Window)
+	winOK := stats.NewWindow(cfg.Window)
+	var allMsgs, allHops []float64
+
+	prot, net := d.Protocol(), d.Network()
+	limit := cfg.Workers
+	if limit <= 0 {
+		limit = par.Limit()
+	}
+	queriers := make([]*card.Querier, limit)
+
+	start := d.Now()
+	end := start + cfg.Duration
+	next := start + arrivals.ExpFloat64()/cfg.QPS
+	var batch []Query
+	var outs []Outcome
+	for now := start; now < end; {
+		tickEnd := now + cfg.Tick
+		if tickEnd > end {
+			tickEnd = end
+		}
+		batch = batch[:0]
+		for next <= tickEnd {
+			batch = append(batch, Query{
+				T:        next,
+				Src:      NodeID(arrivals.Intn(n)),
+				Resource: resource.ID(zipf.Draw(arrivals)),
+			})
+			next += arrivals.ExpFloat64() / cfg.QPS
+		}
+		// Mobility, topology refresh, churn expiry and every maintenance
+		// boundary inside the tick run before the tick's queries: queries
+		// observe the freshest snapshot, exactly like the one-shot batches.
+		d.Advance(tickEnd - d.Now())
+		if cap(outs) < len(batch) {
+			outs = make([]Outcome, len(batch))
+		}
+		outs = outs[:len(batch)]
+		runTick(prot, net, dir, cfg.Scheme, limit, queriers, batch, outs)
+		for _, o := range outs {
+			rep.Queries++
+			ok := 0.0
+			if o.Found {
+				rep.Found++
+				ok = 1
+				allHops = append(allHops, float64(o.Hops))
+			}
+			if o.SrcDown {
+				rep.SrcDown++
+			} else {
+				allMsgs = append(allMsgs, float64(o.Messages))
+				winMsgs.Add(float64(o.Messages))
+			}
+			winOK.Add(ok)
+			if cfg.KeepOutcomes {
+				rep.Outcomes = append(rep.Outcomes, o)
+			}
+		}
+		now = tickEnd
+	}
+	if rep.Queries > 0 {
+		rep.SuccessPct = 100 * float64(rep.Found) / float64(rep.Queries)
+	}
+	rep.Messages = stats.Summarize(allMsgs)
+	rep.Hops = stats.Summarize(allHops)
+	rep.WindowMessages = winMsgs.Summary()
+	if winOK.Len() > 0 {
+		rep.WindowSuccessPct = 100 * winOK.Mean()
+	}
+	return rep, nil
+}
+
+// runTick executes one tick's arrivals against the current snapshot,
+// filling outs indexed like batch.
+func runTick(prot *card.Protocol, net *manet.Network, dir *resource.Directory,
+	scheme Scheme, limit int, queriers []*card.Querier, batch []Query, outs []Outcome) {
+	if len(batch) == 0 {
+		return
+	}
+	if scheme != CARD {
+		for i, q := range batch {
+			if net.Down(q.Src) {
+				outs[i] = downOutcome(q)
+				continue
+			}
+			var r resource.Result
+			switch scheme {
+			case Flood:
+				r = resource.DiscoverFlood(net, dir, q.Src, q.Resource)
+			default:
+				r = resource.DiscoverExpandingRing(net, dir, q.Src, q.Resource)
+			}
+			outs[i] = Outcome{Query: q, Found: r.Found, Messages: r.Messages, Hops: r.PathHops}
+		}
+		return
+	}
+	// CARD: shard across the worker pool with the batch-query recipe.
+	if w, ok := prot.Neighborhood().(neighborhood.Warmer); ok {
+		w.WarmAll()
+	}
+	par.WorkersN(limit, len(batch), func(worker, i int) {
+		q := batch[i]
+		if net.Down(q.Src) {
+			outs[i] = downOutcome(q)
+			return
+		}
+		qr := queriers[worker]
+		if qr == nil {
+			qr = prot.NewQuerier()
+			queriers[worker] = qr
+		}
+		r := resource.DiscoverCARDWith(qr, dir, q.Src, q.Resource)
+		outs[i] = Outcome{Query: q, Found: r.Found, Messages: r.Messages, Hops: r.PathHops}
+	})
+	// Serial flush after the join: the shared recorder sees one
+	// deterministic sum per category, whatever the interleaving was.
+	for _, qr := range queriers {
+		if qr != nil {
+			qr.Flush()
+		}
+	}
+}
+
+func downOutcome(q Query) Outcome {
+	return Outcome{Query: q, SrcDown: true, Hops: -1}
+}

@@ -222,3 +222,63 @@ func (r *Rand) Pick(n int) int {
 	}
 	return r.Intn(n)
 }
+
+// Zipf samples from the bounded Zipf distribution over {0, …, n-1}:
+// P(k) ∝ 1/(k+1)^s. s = 0 degenerates to the uniform distribution; larger
+// s concentrates mass on the low ranks (rank 0 is the most popular).
+//
+// The sampler precomputes the cumulative distribution once and inverts it
+// with a binary search per draw, so every Draw consumes exactly one
+// Float64 from the caller's generator regardless of the sampled value.
+// That fixed draw count is what lets the workload layer generate request
+// streams that are pure functions of the seed — the determinism backbone
+// of the serial==parallel traffic contract.
+//
+// A Zipf is immutable after construction and safe for concurrent Draw
+// calls (each caller supplies its own Rand).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a sampler over n ranks with exponent s. It panics when
+// n <= 0 or s is negative or NaN.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: Zipf needs n > 0")
+	}
+	if !(s >= 0) {
+		panic("xrand: Zipf needs s >= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -s)
+		cdf[k] = sum
+	}
+	inv := 1 / sum
+	for k := range cdf {
+		cdf[k] *= inv
+	}
+	// The last bucket owns the tail exactly: Float64 < 1 always lands.
+	cdf[n-1] = 1
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Draw samples one rank in [0, N) using exactly one uniform draw from r.
+func (z *Zipf) Draw(r *Rand) int {
+	u := r.Float64()
+	// First index with cdf[i] > u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if z.cdf[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

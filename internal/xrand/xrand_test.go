@@ -369,3 +369,90 @@ func BenchmarkIntn(b *testing.B) {
 		r.Intn(1000)
 	}
 }
+
+func TestZipfPanics(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(-3, 1) },
+		func() { NewZipf(10, -0.5) },
+		func() { NewZipf(10, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad Zipf construction did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestZipfRangeAndDeterminism(t *testing.T) {
+	z := NewZipf(37, 1.1)
+	if z.N() != 37 {
+		t.Fatalf("N = %d, want 37", z.N())
+	}
+	a, b := New(5), New(5)
+	for i := 0; i < 5000; i++ {
+		va, vb := z.Draw(a), z.Draw(b)
+		if va != vb {
+			t.Fatalf("draw %d diverges: %d vs %d", i, va, vb)
+		}
+		if va < 0 || va >= 37 {
+			t.Fatalf("draw %d out of range: %d", i, va)
+		}
+	}
+}
+
+// TestZipfOneDrawPerSample pins the stream contract the workload layer
+// relies on: each Draw consumes exactly one Float64, whatever the sampled
+// rank, so downstream draws never shift with the sampled values.
+func TestZipfOneDrawPerSample(t *testing.T) {
+	z := NewZipf(100, 1.5)
+	a, b := New(9), New(9)
+	const k = 257
+	for i := 0; i < k; i++ {
+		z.Draw(a)
+	}
+	for i := 0; i < k; i++ {
+		b.Float64()
+	}
+	if va, vb := a.Uint64(), b.Uint64(); va != vb {
+		t.Fatalf("Zipf draws consumed a different stream amount: next %d vs %d", va, vb)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(4, 0)
+	r := New(11)
+	counts := [4]int{}
+	const draws = 80000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw(r)]++
+	}
+	for b, c := range counts {
+		if math.Abs(float64(c)-draws/4.0) > 5*math.Sqrt(draws/4.0) {
+			t.Errorf("s=0 bucket %d count %d far from uniform", b, c)
+		}
+	}
+}
+
+func TestZipfSkewsTowardLowRanks(t *testing.T) {
+	z := NewZipf(64, 1.0)
+	r := New(13)
+	counts := make([]int, 64)
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw(r)]++
+	}
+	// P(0) = 1/H_64 ≈ 0.21; check the head dominates and the expected
+	// 2:1 ratio between ranks 0 and 1 holds loosely.
+	if counts[0] < counts[63]*4 {
+		t.Errorf("rank 0 drawn %d times, rank 63 %d — no skew", counts[0], counts[63])
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.7 || ratio > 2.4 {
+		t.Errorf("rank0/rank1 ratio = %.2f, want ~2 for s=1", ratio)
+	}
+}
