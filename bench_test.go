@@ -407,6 +407,38 @@ func BenchmarkWorkloadSustained1k(b *testing.B) {
 	b.ReportMetric(float64(last.Queries)/5, "achieved-qps")
 }
 
+// BenchmarkSweepGrid1k measures the parameter-sweep engine end to end on
+// the citywide-rwp-1k preset: a 6-point NoC x r grid, one isolated
+// 1000-node engine per cell (initial selection, 4 s of maintained
+// mobility, a 100-query batch), sharded across the cell pool with the
+// Pareto frontier extracted. CI records it as BENCH_5.json — the cost
+// record for grid tuning at the 1k scale.
+func BenchmarkSweepGrid1k(b *testing.B) {
+	p, err := LookupPreset("citywide-rwp-1k")
+	if err != nil {
+		b.Fatal(err)
+	}
+	axes, err := ParseSweepSpec("NoC=4,8;r=8..12..2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last *SweepResult
+	for i := 0; i < b.N; i++ {
+		g := &SweepGrid{Base: p.Protocol, Axes: axes, Seeds: 1}
+		er := SweepEngineRunner{Net: p.Net, Horizon: 4, Queries: 100, Seed: uint64(i) + 1}
+		res, err := g.Run(er.Run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	front := last.Pareto()
+	b.ReportMetric(float64(len(front)), "pareto-points")
+	best := last.Points[front[len(front)-1]].Metrics
+	b.ReportMetric(best.Reach, "frontier-max-reach-%")
+	b.ReportMetric(best.Overhead, "frontier-max-overhead")
+}
+
 // BenchmarkMaintenanceRound measures a network-wide validation round under
 // mobility.
 func BenchmarkMaintenanceRound(b *testing.B) {

@@ -3,6 +3,7 @@ package card
 import (
 	proto "card/internal/card"
 	"card/internal/engine"
+	"card/internal/sweep"
 	"card/internal/topology"
 	"card/internal/workload"
 )
@@ -128,6 +129,35 @@ const (
 	SchemeExpandingRing = workload.ExpandingRing
 )
 
+// SweepAxis is one swept parameter of a SweepGrid: a canonical config
+// axis name (R, r, NoC, D, Method, VP) and its values.
+type SweepAxis = sweep.Axis
+
+// SweepGrid spans a parameter study over the CARD configuration axes
+// times seeds. Each (point, seed) cell runs as an isolated simulation;
+// results are bit-identical serial vs sharded at any GOMAXPROCS. See the
+// sweep package docs for the cell isolation / determinism contract.
+type SweepGrid = sweep.Grid
+
+// SweepMetrics are one cell's (or one seed-averaged point's) trade-off
+// measurements: overhead per node per second, mean reachability, query
+// success, and per-query message/hop quantiles.
+type SweepMetrics = sweep.Metrics
+
+// SweepResult is a completed sweep: per-cell runs, seed-averaged points,
+// and the overhead-vs-reachability Pareto frontier (Pareto, CSV, JSON).
+type SweepResult = sweep.Result
+
+// SweepEngineRunner is the default sweep cell runner: one isolated engine
+// run per cell, seeded from the counter-based substream (point, seed) of
+// the root seed.
+type SweepEngineRunner = sweep.EngineRunner
+
+// ParseSweepSpec parses a sweep grid specification like
+// "NoC=1..10;r=6..20" or "Method=EM,PM2;D=1..3"; see sweep.ParseSpec for
+// the grammar.
+func ParseSweepSpec(spec string) ([]SweepAxis, error) { return sweep.ParseSpec(spec) }
+
 // Presets lists the built-in workload presets (dense-sensor-field,
 // sparse-rescue, citywide-rwp-1k/5k/10k, ...), sorted by name.
 func Presets() []Preset { return engine.Presets() }
@@ -238,13 +268,17 @@ func (s *Simulation) RunWorkload(cfg WorkloadConfig) (*WorkloadReport, error) {
 // Contacts returns node u's current contact table entries.
 func (s *Simulation) Contacts(u NodeID) []*Contact { return s.e.Protocol().Table(u).Contacts() }
 
-// Reachability returns the percentage of the network node u can reach with
-// a depth-D contact search.
+// Reachability returns the percentage of live network nodes u can reach
+// with a depth-D contact search. Under node churn the denominator is the
+// up population — down nodes are not discoverable, so counting them would
+// conflate churn duty cycle with contact quality — and a down u reports
+// 0. Without churn this is the plain over-N percentage.
 func (s *Simulation) Reachability(u NodeID, depth int) float64 {
 	return s.e.Reachability(u, depth)
 }
 
-// MeanReachability averages Reachability over all nodes.
+// MeanReachability averages Reachability over the up nodes (all nodes
+// when the scenario runs no churn).
 func (s *Simulation) MeanReachability(depth int) float64 {
 	return s.e.MeanReachability(depth)
 }

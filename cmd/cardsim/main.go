@@ -16,6 +16,13 @@
 //	cardsim -preset citywide-rwp-1k -qps 200 -zipf 1.1   # sustained traffic
 //	cardsim -trace movements.tcl -tx 100 -horizon 60   # replay an ns-2 trace
 //
+//	cardsim -preset citywide-rwp-1k -sweep "NoC=2..8..2;r=8..14..2"
+//	cardsim -preset churn-2k -sweep "Method=EM,PM2;NoC=2,4" -seeds 5 -format csv
+//
+// A -sweep grid runs one isolated engine per (point, seed) cell over the
+// preset's scenario and reports the overhead-vs-reachability trade-off
+// per point, with Pareto-frontier configurations starred.
+//
 // Experiment ids match the per-experiment index in DESIGN.md.
 package main
 
@@ -30,6 +37,7 @@ import (
 	proto "card/internal/card"
 	"card/internal/engine"
 	"card/internal/experiments"
+	"card/internal/sweep"
 	"card/internal/workload"
 )
 
@@ -53,6 +61,7 @@ func main() {
 		topology = flag.String("topology", "grid", "topology path: grid (incremental), full, naive")
 		qps      = flag.Float64("qps", -1, "sustained query-traffic rate in queries/s (-1 = preset default, 0 = off)")
 		zipf     = flag.Float64("zipf", -1, "resource popularity skew for sustained traffic (-1 = preset default)")
+		sweepArg = flag.String("sweep", "", `parameter-sweep grid over the preset, e.g. "NoC=1..10;r=6..20"`)
 	)
 	flag.Parse()
 
@@ -72,13 +81,25 @@ func main() {
 	if *preset != "" || *trace != "" {
 		p, err := resolveWorkload(*preset, *trace, *tx, *churn)
 		if err == nil {
-			err = runPreset(p, *queries, *horizon, *seed, *topology, resolveTraffic(p, *qps, *zipf))
+			if *sweepArg != "" {
+				if *qps >= 0 || *zipf >= 0 {
+					err = fmt.Errorf("-qps/-zipf (sustained traffic) do not compose with -sweep; sweep cells measure batched queries")
+				} else {
+					err = runSweep(p, *sweepArg, *seeds, *queries, *horizon, *seed, *topology, *format)
+				}
+			} else {
+				err = runPreset(p, *queries, *horizon, *seed, *topology, resolveTraffic(p, *qps, *zipf))
+			}
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cardsim:", err)
 			os.Exit(2)
 		}
 		return
+	}
+	if *sweepArg != "" {
+		fmt.Fprintln(os.Stderr, "cardsim: -sweep needs a base workload: combine it with -preset or -trace")
+		os.Exit(2)
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "cardsim: -exp, -preset or -trace required (try -list / -presets)")
@@ -182,15 +203,8 @@ func resolveTraffic(p engine.Preset, qps, zipf float64) workload.Config {
 // traffic config then keeps the clock running under sustained query load
 // and reports the serving-style quantiles.
 func runPreset(p engine.Preset, queries int, horizon float64, seed uint64, topo string, traffic workload.Config) error {
-	switch topo {
-	case "grid", "":
-		p.Net.Topology = engine.SpatialGrid
-	case "full":
-		p.Net.Topology = engine.FullRebuild
-	case "naive":
-		p.Net.Topology = engine.NaiveRebuild
-	default:
-		return fmt.Errorf("unknown -topology %q (grid, full, naive)", topo)
+	if err := applyTopology(&p.Net, topo); err != nil {
+		return err
 	}
 	if horizon < 0 {
 		horizon = p.Horizon
@@ -281,6 +295,75 @@ func runPreset(p engine.Preset, queries int, horizon float64, seed uint64, topo 
 			rep.Hops.P50, rep.Hops.P95, rep.WindowSuccessPct, rep.WindowMessages.P95,
 			wall.Round(time.Millisecond))
 	}
+	return nil
+}
+
+// applyTopology resolves the -topology flag onto a network config.
+func applyTopology(nc *engine.NetworkConfig, topo string) error {
+	switch topo {
+	case "grid", "":
+		nc.Topology = engine.SpatialGrid
+	case "full":
+		nc.Topology = engine.FullRebuild
+	case "naive":
+		nc.Topology = engine.NaiveRebuild
+	default:
+		return fmt.Errorf("unknown -topology %q (grid, full, naive)", topo)
+	}
+	return nil
+}
+
+// runSweep spans the -sweep grid over the resolved workload: every
+// (point, seed) cell is one isolated engine run on the preset's scenario
+// with the point's protocol tuning, measured over -horizon simulated
+// seconds and a -queries batch. The per-point table (Pareto frontier
+// starred) renders through -format; "json" additionally carries the raw
+// per-cell metrics.
+func runSweep(p engine.Preset, spec string, seeds, queries int, horizon float64, seed uint64, topo, format string) error {
+	axes, err := sweep.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	if err := applyTopology(&p.Net, topo); err != nil {
+		return err
+	}
+	if horizon < 0 {
+		horizon = p.Horizon
+	}
+	g := &sweep.Grid{Base: p.Protocol, Axes: axes, Seeds: seeds}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	er := sweep.EngineRunner{Net: p.Net, Horizon: horizon, Queries: queries, Seed: seed}
+	fmt.Printf("sweep over %s: %d points x %d seed(s) = %d cells, horizon %gs, %d queries/cell\n",
+		p.Name, g.Points(), g.Seeds, g.Cells(), horizon, queries)
+	start := time.Now()
+	res, err := g.Run(er.Run)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	title := fmt.Sprintf("Sweep %s over %s (* = Pareto frontier)", spec, p.Name)
+	tab := experiments.SweepTable(title, res)
+	switch format {
+	case "csv":
+		fmt.Print(tab.CSV())
+	case "md":
+		fmt.Println(tab.Markdown())
+	case "plot":
+		fmt.Println(tab.Plot())
+	case "json":
+		b, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+	default:
+		fmt.Println(tab.Text())
+	}
+	front := res.Pareto()
+	fmt.Printf("pareto frontier: %d of %d points; wall %v\n",
+		len(front), g.Points(), wall.Round(time.Millisecond))
 	return nil
 }
 

@@ -44,6 +44,12 @@
 //     (Poisson arrivals, Zipf-skewed resource popularity) in sharded ticks
 //     interleaved with maintenance; the per-query outcome stream and the
 //     recorder totals equal the serial execution at any GOMAXPROCS.
+//   - [SweepGrid] spans parameter studies over the configuration axes
+//     ([ParseSweepSpec], e.g. "NoC=1..10;r=6..20"): every (point, seed)
+//     cell is an isolated engine run on a counter-based substream of the
+//     root seed, sharded across workers with bit-identical metrics at any
+//     worker count, aggregated into the overhead-vs-reachability Pareto
+//     frontier ([SweepResult]).
 //
 // # Scenarios
 //

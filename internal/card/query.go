@@ -101,6 +101,10 @@ func (q *Querier) Query(u, target NodeID) QueryResult {
 	before := q.pendingQuery + q.pendingReply
 	for depth := 1; depth <= p.cfg.Depth; depth++ {
 		q.visitGen++
+		// The source has already checked its own neighborhood: mark it
+		// visited so a contact whose table points back at u does not walk
+		// the query home and charge wasted transmissions.
+		q.visited[u] = q.visitGen
 		if hops, ok := q.dsq(u, target, depth); ok {
 			return QueryResult{
 				Found:    true,
@@ -119,9 +123,10 @@ func (q *Querier) Query(u, target NodeID) QueryResult {
 
 // dsq delivers a depth-limited DSQ to v's contacts, one at a time. It
 // returns the hop length of the found path from v to the target via the
-// contact chain. Each contact is visited at most once per escalation
-// attempt (q.visitGen), preventing the contact graph's cycles from
-// amplifying traffic.
+// contact chain. Each contact — and the source itself, stamped per
+// escalation in Query — is visited at most once per escalation attempt
+// (q.visitGen), preventing the contact graph's cycles from amplifying
+// traffic or walking the query back to where it started.
 func (q *Querier) dsq(v, target NodeID, depth int) (int, bool) {
 	p := q.p
 	for _, c := range p.tables[v].contacts {

@@ -136,6 +136,31 @@ func TestQueryDedupTerminatesOnContactCycles(t *testing.T) {
 	}
 }
 
+// TestQueryNeverWalksBackToSource is the regression test for the missing
+// source visit-mark: a contact whose table points back at the source used
+// to walk the escalated DSQ home, charging the full return path in query
+// transmissions before rediscovering what the source already knew.
+func TestQueryNeverWalksBackToSource(t *testing.T) {
+	net := lineNet(40)
+	cfg := Config{R: 2, MaxContactDist: 12, NoC: 2, Method: EM, Depth: 2}
+	p := newProtocol(t, net, cfg, 59)
+	// Symmetric hand-crafted contacts: 5 -> 10 and 10 -> 5 (5 hops each).
+	p.Table(5).add(&Contact{ID: 10, Path: []NodeID{5, 6, 7, 8, 9, 10}})
+	p.Table(10).add(&Contact{ID: 5, Path: []NodeID{10, 9, 8, 7, 6, 5}})
+	// Target far outside both neighborhoods and the depth-2 horizon.
+	res := p.Query(5, 39)
+	if res.Found {
+		t.Fatalf("unreachable target found: %+v", res)
+	}
+	// Depth 1: walk 5->10 (5 msgs), miss. Depth 2: walk 5->10 again
+	// (5 msgs); node 10's only contact is the source, which is
+	// visit-marked, so the escalation dies there. Total: exactly 10.
+	// Before the fix the depth-2 DSQ also walked 10->5 (5 more msgs).
+	if res.Messages != 10 {
+		t.Errorf("Messages = %d, want 10 (no back-walk to the source)", res.Messages)
+	}
+}
+
 func TestQueryReplyCountingToggle(t *testing.T) {
 	run := func(disable bool) int64 {
 		net := lineNet(30)

@@ -4,13 +4,29 @@ import (
 	"card/internal/bitset"
 )
 
-// Reachability returns the percentage of network nodes reachable from u
-// with the current contact tables and a depth-D search: the union of u's
+// Reachability returns the percentage of live network nodes reachable from
+// u with the current contact tables and a depth-D search: the union of u's
 // own neighborhood with the neighborhoods of every contact in the first D
 // levels of u's contact tree (§III.B, "Reachability").
+//
+// Under node churn the denominator is the up population, not the nominal
+// network size: a down node is not discoverable by any mechanism, so
+// counting it as "unreached" would deflate reachability by the churn duty
+// cycle rather than measure the contact architecture. A down u reaches
+// nothing and reports 0. Without churn this is the original N-denominator
+// definition.
 func (p *Protocol) Reachability(u NodeID, depth int) float64 {
+	return p.reachability(u, depth, p.net.UpCount())
+}
+
+// reachability is Reachability with the up-population precomputed, so
+// whole-network averages pay the O(N) up-count scan once, not per node.
+func (p *Protocol) reachability(u NodeID, depth int, up int) float64 {
+	if up == 0 || p.net.Down(u) {
+		return 0
+	}
 	set := p.reachableSet(u, depth)
-	return 100 * float64(set.Count()) / float64(p.net.N())
+	return 100 * float64(set.Count()) / float64(up)
 }
 
 // ReachableSet returns the set of nodes counted by Reachability. The
@@ -43,15 +59,23 @@ func (p *Protocol) reachableSet(u NodeID, depth int) *bitset.Set {
 	return set
 }
 
-// MeanReachability returns the average Reachability over all nodes.
+// MeanReachability returns the average Reachability over the up nodes.
+// Down nodes hold no protocol state (their tables were expired on
+// departure), so averaging them in would systematically understate what
+// the live population can discover; without churn every node is up and
+// this is the plain all-nodes mean.
 func (p *Protocol) MeanReachability(depth int) float64 {
 	n := p.net.N()
-	if n == 0 {
+	upCount := p.net.UpCount()
+	if upCount == 0 {
 		return 0
 	}
 	var sum float64
 	for i := 0; i < n; i++ {
-		sum += p.Reachability(NodeID(i), depth)
+		if p.net.Down(NodeID(i)) {
+			continue
+		}
+		sum += p.reachability(NodeID(i), depth, upCount)
 	}
-	return sum / float64(n)
+	return sum / float64(upCount)
 }

@@ -2,6 +2,11 @@ package card
 
 import (
 	"testing"
+
+	"card/internal/geom"
+	"card/internal/manet"
+	"card/internal/mobility"
+	"card/internal/xrand"
 )
 
 func TestReachabilityNoContacts(t *testing.T) {
@@ -87,6 +92,65 @@ func TestReachabilityCountsSelf(t *testing.T) {
 	p := newProtocol(t, net, cfg, 75)
 	if got := p.Reachability(0, 1); got != 50 {
 		t.Errorf("isolated node reachability = %v, want 50 (self of N=2)", got)
+	}
+}
+
+// churnedClique builds an n-node clique (every pair adjacent) with an
+// exponential up/down churn schedule, advanced until some — but not all —
+// nodes are down, applying the engine's serial expiry step per refresh.
+func churnedClique(t *testing.T, n int) (*manet.Network, *Protocol) {
+	t.Helper()
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		// All nodes within 15 m of each other: a clique at the 15 m range.
+		pts[i] = geom.Point{X: float64(i % 4), Y: float64(i / 4)}
+	}
+	area := geom.Rect{W: 100, H: 100}
+	churn, err := manet.NewChurn(n, manet.ChurnConfig{MeanUp: 4, MeanDown: 4}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := manet.NewWithChurn(mobility.NewStatic(pts, area), 15, xrand.New(8),
+		manet.IncrementalTopology, churn)
+	cfg := Config{R: 1, MaxContactDist: 3, NoC: 2, Method: EM}
+	p := newProtocol(t, net, cfg, 76)
+	for tick := 1; tick <= 400; tick++ {
+		net.RefreshAt(float64(tick) * 0.5)
+		// Mirror the engine's refresh consequences: departures expire state.
+		p.ExpireNodes(net.ChurnedDown())
+		for _, v := range net.ChurnedUp() {
+			p.ResetNode(v)
+		}
+		if up := net.UpCount(); up > 0 && up < n {
+			return net, p
+		}
+	}
+	t.Fatal("churn schedule never produced a partially-down snapshot")
+	return nil, nil
+}
+
+// TestReachabilityChurnUpNodesOnly is the regression test for the churn
+// deflation bug: on a clique every up node can reach the whole live
+// population, so reachability must report 100 % no matter how many nodes
+// are down. The old N-denominator (and all-nodes mean) reported
+// 100·up/N instead, silently conflating churn duty cycle with contact
+// quality.
+func TestReachabilityChurnUpNodesOnly(t *testing.T) {
+	const n = 16
+	net, p := churnedClique(t, n)
+	up := net.UpCount()
+	t.Logf("snapshot: %d/%d nodes up", up, n)
+	for u := NodeID(0); int(u) < n; u++ {
+		got := p.Reachability(u, 1)
+		switch {
+		case net.Down(u) && got != 0:
+			t.Errorf("down node %d reports reachability %v, want 0", u, got)
+		case net.Up(u) && got != 100:
+			t.Errorf("up node %d on a clique reports %v%%, want 100 (up=%d)", u, got, up)
+		}
+	}
+	if m := p.MeanReachability(1); m != 100 {
+		t.Errorf("MeanReachability = %v, want 100 over the %d up nodes", m, up)
 	}
 }
 

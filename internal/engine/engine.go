@@ -537,13 +537,16 @@ func (e *Engine) Query(src, target NodeID) proto.QueryResult {
 	return e.prot.Query(src, target)
 }
 
-// Reachability returns the percentage of the network node u can reach with
-// a depth-D contact search.
+// Reachability returns the percentage of live network nodes u can reach
+// with a depth-D contact search. Under churn the denominator is the up
+// population (a down node is not discoverable by any mechanism) and a
+// down u reports 0; without churn this is the plain over-N percentage.
 func (e *Engine) Reachability(u NodeID, depth int) float64 {
 	return e.prot.Reachability(u, depth)
 }
 
-// MeanReachability averages Reachability over all nodes.
+// MeanReachability averages Reachability over the up nodes (all nodes
+// when the scenario runs no churn).
 func (e *Engine) MeanReachability(depth int) float64 {
 	return e.prot.MeanReachability(depth)
 }

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
+
+	"card/internal/card"
+	"card/internal/sweep"
 )
 
 // quick returns lightweight options for CI.
@@ -325,6 +329,101 @@ func TestReplicationQuick(t *testing.T) {
 	// Expanding ring gets cheaper with replication (nearer holders).
 	if r1, r16 := cellFloat(t, tab, 0, 4), cellFloat(t, tab, 4, 4); r16 > r1 {
 		t.Errorf("ring cost rose with replication: %v -> %v", r1, r16)
+	}
+}
+
+// TestFigSweepsMatchDirectLoops is the refactor acceptance pin: the
+// Fig. 11/12 time-series sweep and the Fig. 14 trade-off sweep, re-derived
+// through the generic sweep harness, must match the pre-refactor direct
+// loops seed for seed, bit for bit.
+func TestFigSweepsMatchDirectLoops(t *testing.T) {
+	o := Options{Seeds: 2, Scale: 0.15}
+	o.fill()
+	sc := Scenario5.Scaled(o.Scale)
+
+	// Fig. 11/12 series: harness vs the direct serial reference
+	// (OverheadOverTime runs runTimeSim with seeds 1..Seeds and averages).
+	rs, got := fig11Sweep(o, sc)
+	for i, r := range rs {
+		cfg := fig10Base()
+		cfg.NoC = 5
+		cfg.MaxContactDist = r
+		want := OverheadOverTime(timeSimParams{
+			sc: sc, cfg: cfg, horizon: 10, window: 2, refreshDt: 0.25,
+		}, o.Seeds)
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("fig11 series for r=%d diverges from the direct loop", r)
+		}
+	}
+
+	// Fig. 14 rows: harness pipeline vs the direct cell-major loop with
+	// the identical averaging order.
+	nocs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	reach := make([]float64, len(nocs))
+	over := make([]float64, len(nocs))
+	for i := 0; i < len(nocs)*o.Seeds; i++ {
+		cfg := fig10Base()
+		cfg.NoC = nocs[i/o.Seeds]
+		m, err := fig14Cell(sc, cfg, uint64(i%o.Seeds)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reach[i/o.Seeds] += m.Reach / float64(o.Seeds)
+		over[i/o.Seeds] += m.Overhead / float64(o.Seeds)
+	}
+	tab := RunFig14(o)
+	for i := range nocs {
+		if got, want := cellFloat(t, tab, i, 1), reach[i]; got != roundTrip(want) {
+			t.Errorf("fig14 NoC=%d reach %v != direct %v", nocs[i], got, want)
+		}
+		if got, want := cellFloat(t, tab, i, 2), over[i]; got != roundTrip(want) {
+			t.Errorf("fig14 NoC=%d overhead %v != direct %v", nocs[i], got, want)
+		}
+	}
+}
+
+// roundTrip pushes a float through the table's %.2f cell rendering, the
+// only lossy step between the sweep pipeline and the compared table.
+func roundTrip(v float64) float64 {
+	f, _ := strconv.ParseFloat(strings.TrimRight(strings.TrimRight(
+		strconv.FormatFloat(v, 'f', 2, 64), "0"), "."), 64)
+	return f
+}
+
+func TestRunSweepQuick(t *testing.T) {
+	tab := RunSweep(quick())
+	if len(tab.Rows) != 16 {
+		t.Fatalf("sweep rows = %d, want 16 (4x4 grid)", len(tab.Rows))
+	}
+	if tab.Columns[0] != "NoC" || tab.Columns[1] != "r" {
+		t.Fatalf("sweep columns = %v", tab.Columns[:2])
+	}
+	frontier := 0
+	last := len(tab.Columns) - 1
+	for r := range tab.Rows {
+		if reach := cellFloat(t, tab, r, 3); reach <= 0 || reach > 100 {
+			t.Errorf("row %d: reachability %v out of (0,100]", r, reach)
+		}
+		if tab.Rows[r][last] == "*" {
+			frontier++
+		}
+	}
+	if frontier == 0 {
+		t.Error("no point marked on the Pareto frontier")
+	}
+}
+
+func TestSweepTableRendersPoints(t *testing.T) {
+	g := &sweep.Grid{Axes: []sweep.Axis{{Name: "NoC", Values: []float64{1, 2}}}}
+	res, err := g.Run(func(_ card.Config, point []float64, _ int, _ uint64) (sweep.Metrics, error) {
+		return sweep.Metrics{Overhead: point[0], Reach: 10 * point[0]}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := SweepTable("demo", res)
+	if len(tab.Rows) != 2 || tab.Columns[0] != "NoC" {
+		t.Fatalf("table shape wrong: %+v", tab)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"card/internal/card"
 	"card/internal/manet"
 	"card/internal/mobility"
+	"card/internal/sweep"
 )
 
 // backtrackCat aliases the counter category used by Fig. 4 and Fig. 12.
@@ -89,10 +90,10 @@ func runTimeSim(p timeSimParams, seed uint64) TimeSeries {
 	return ts
 }
 
-// OverheadOverTime averages runTimeSim across seeds.
-func OverheadOverTime(p timeSimParams, seeds int) TimeSeries {
-	runs := make([]TimeSeries, seeds)
-	Parallel(seeds, func(i int) { runs[i] = runTimeSim(p, uint64(i)+1) })
+// averageSeries averages time series point-wise in slice order — the
+// seed-aggregation every mobile figure uses.
+func averageSeries(runs []TimeSeries) TimeSeries {
+	seeds := len(runs)
 	out := TimeSeries{Times: runs[0].Times}
 	k := len(out.Times)
 	out.Overhead = make([]float64, k)
@@ -110,6 +111,49 @@ func OverheadOverTime(p timeSimParams, seeds int) TimeSeries {
 	return out
 }
 
+// OverheadOverTime averages runTimeSim across seeds with a direct serial
+// loop. It is the pre-sweep reference implementation the figure sweeps
+// are pinned against (TestFigSweepsMatchDirectLoops): timeSeriesSweep
+// must reproduce it seed for seed.
+func OverheadOverTime(p timeSimParams, seeds int) TimeSeries {
+	runs := make([]TimeSeries, seeds)
+	for i := range runs {
+		runs[i] = runTimeSim(p, uint64(i)+1)
+	}
+	return averageSeries(runs)
+}
+
+// timeSeriesSweep runs one mobile time-series cell per (grid point, seed)
+// through the generic sweep harness and averages per point: the shared
+// engine behind the Fig. 10-13 grid declarations. Cells use the harness's
+// (point-major, seed s+1) enumeration, so every point reproduces
+// OverheadOverTime's direct loop seed for seed.
+func timeSeriesSweep(base card.Config, axes []sweep.Axis, seeds int, p timeSimParams) []TimeSeries {
+	g := &sweep.Grid{Base: base, Axes: axes, Seeds: seeds}
+	cells, err := sweep.RunCells(g, func(cfg card.Config, _ []float64, _ int, seed uint64) TimeSeries {
+		sp := p
+		sp.cfg = cfg
+		return runTimeSim(sp, seed)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err)) // static grid bug, not data
+	}
+	out := make([]TimeSeries, g.Points())
+	for pt := range out {
+		out[pt] = averageSeries(cells[pt*seeds : (pt+1)*seeds])
+	}
+	return out
+}
+
+// intAxis builds a sweep axis from integer values.
+func intAxis(name string, vals []int) sweep.Axis {
+	a := sweep.Axis{Name: name, Values: make([]float64, len(vals))}
+	for i, v := range vals {
+		a.Values[i] = float64(v)
+	}
+	return a
+}
+
 // fig10Base is the configuration printed under Fig. 10: R=3, r=10, D=1,
 // validation every second.
 func fig10Base() card.Config {
@@ -117,19 +161,13 @@ func fig10Base() card.Config {
 }
 
 // RunFig10 regenerates Fig. 10: overhead per node over time for NoC = 3,
-// 4, 5, 7 (N=500, R=3, r=10).
+// 4, 5, 7 (N=500, R=3, r=10) — a one-axis grid over the sweep harness.
 func RunFig10(o Options) *Table {
 	o.fill()
 	sc := Scenario5.Scaled(o.Scale)
 	nocs := []int{3, 4, 5, 7}
-	series := make([]TimeSeries, len(nocs))
-	Parallel(len(nocs), func(i int) {
-		cfg := fig10Base()
-		cfg.NoC = nocs[i]
-		series[i] = OverheadOverTime(timeSimParams{
-			sc: sc, cfg: cfg, horizon: 10, window: 2, refreshDt: 0.25,
-		}, o.Seeds)
-	})
+	series := timeSeriesSweep(fig10Base(), []sweep.Axis{intAxis("NoC", nocs)}, o.Seeds,
+		timeSimParams{sc: sc, horizon: 10, window: 2, refreshDt: 0.25})
 	t := NewTable(
 		fmt.Sprintf("Fig 10: overhead per node vs time by NoC (N=%d, R=3, r=10)", sc.N),
 		"t(s)", "NoC=3", "NoC=4", "NoC=5", "NoC=7")
@@ -140,18 +178,13 @@ func RunFig10(o Options) *Table {
 }
 
 // fig11Sweep runs the Fig. 11/12 parameter sweep (NoC=5, R=3, r varies)
-// and returns one TimeSeries per r.
+// as a grid declaration and returns one TimeSeries per r.
 func fig11Sweep(o Options, sc Scenario) ([]int, []TimeSeries) {
 	rs := []int{8, 9, 10, 12, 15}
-	series := make([]TimeSeries, len(rs))
-	Parallel(len(rs), func(i int) {
-		cfg := fig10Base()
-		cfg.NoC = 5
-		cfg.MaxContactDist = rs[i]
-		series[i] = OverheadOverTime(timeSimParams{
-			sc: sc, cfg: cfg, horizon: 10, window: 2, refreshDt: 0.25,
-		}, o.Seeds)
-	})
+	base := fig10Base()
+	base.NoC = 5
+	series := timeSeriesSweep(base, []sweep.Axis{intAxis("r", rs)}, o.Seeds,
+		timeSimParams{sc: sc, horizon: 10, window: 2, refreshDt: 0.25})
 	return rs, series
 }
 
@@ -202,14 +235,14 @@ func RunFig12(o Options) *Table {
 }
 
 // RunFig13 regenerates Fig. 13: maintenance overhead per node and total
-// selected contacts over a 20 s run (N=250, NoC=6, R=4, r=16).
+// selected contacts over a 20 s run (N=250, NoC=6, R=4, r=16) — the
+// degenerate single-point grid.
 func RunFig13(o Options) *Table {
 	o.fill()
 	sc := Table1Scenarios[1].Scaled(o.Scale) // 250 nodes, 710x710
 	cfg := card.Config{R: 4, MaxContactDist: 16, NoC: 6, Depth: 1, Method: card.EM, ValidatePeriod: 1}
-	ts := OverheadOverTime(timeSimParams{
-		sc: sc, cfg: cfg, horizon: 20, window: 2, refreshDt: 0.25,
-	}, o.Seeds)
+	ts := timeSeriesSweep(cfg, nil, o.Seeds,
+		timeSimParams{sc: sc, horizon: 20, window: 2, refreshDt: 0.25})[0]
 	t := NewTable(
 		fmt.Sprintf("Fig 13: maintenance overhead and contact count over time (N=%d, NoC=6, R=4, r=16)", sc.N),
 		"t(s)", "maintenance msgs/node", "total contacts")
@@ -219,78 +252,74 @@ func RunFig13(o Options) *Table {
 	return t
 }
 
+// fig14Cell measures one Fig. 14 cell: reachability bought and overhead
+// paid after 10 s of maintained mobility. NoC 0 is the paper's
+// no-contacts baseline: selection never runs, so overhead is zero and
+// reachability is the bare neighborhood's.
+func fig14Cell(sc Scenario, cfg card.Config, seed uint64) (sweep.Metrics, error) {
+	skipSelect := cfg.NoC == 0
+	if skipSelect {
+		cfg.NoC = 1 // Validate rejects 0; the table stays empty regardless
+	}
+	net, err := sc.MobileNet(seed, mobility.DefaultRWP())
+	if err != nil {
+		return sweep.Metrics{}, err
+	}
+	prot, err := NewCARD(net, cfg, seed)
+	if err != nil {
+		return sweep.Metrics{}, err
+	}
+	if !skipSelect {
+		prot.SelectAll(0)
+		for t := 0.25; t <= 10+1e-9; t += 0.25 {
+			net.RefreshAt(t)
+			if isMultiple(t, cfg.ValidatePeriod) {
+				prot.MaintainAll(t)
+			}
+		}
+	}
+	return sweep.Metrics{
+		Reach:    prot.MeanReachability(cfg.Depth),
+		Overhead: float64(net.Totals().Sum(overheadCats...)) / float64(net.N()),
+	}, nil
+}
+
 // RunFig14 regenerates Fig. 14: the normalized reachability-vs-overhead
-// trade-off as NoC grows 0..10 (R=3, r=10, 10 s mobile horizon).
+// trade-off as NoC grows 0..10 (R=3, r=10, 10 s mobile horizon) — a
+// one-axis grid over the sweep harness's scalar pipeline.
 func RunFig14(o Options) *Table {
 	o.fill()
 	sc := Scenario5.Scaled(o.Scale)
 	nocs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	type cellResult struct{ reach, over float64 }
-	results := make([]cellResult, len(nocs)*o.Seeds)
-	Parallel(len(results), func(i int) {
-		cell := i / o.Seeds
-		seed := uint64(i%o.Seeds) + 1
-		noc := nocs[cell]
-		cfg := fig10Base()
-		cfg.NoC = noc
-		skipSelect := noc == 0
-		if skipSelect {
-			cfg.NoC = 1
-		}
-		net, err := sc.MobileNet(seed, mobility.DefaultRWP())
-		if err != nil {
-			panic(err)
-		}
-		prot, err := NewCARD(net, cfg, seed)
-		if err != nil {
-			panic(err)
-		}
-		if !skipSelect {
-			prot.SelectAll(0)
-			for t := 0.25; t <= 10+1e-9; t += 0.25 {
-				net.RefreshAt(t)
-				if isMultiple(t, cfg.ValidatePeriod) {
-					prot.MaintainAll(t)
-				}
-			}
-		}
-		var sumReach float64
-		for u := 0; u < net.N(); u++ {
-			sumReach += prot.Reachability(int32(u), cfg.Depth)
-		}
-		results[i] = cellResult{
-			reach: sumReach / float64(net.N()),
-			over:  float64(net.Totals().Sum(overheadCats...)) / float64(net.N()),
-		}
+	g := &sweep.Grid{Base: fig10Base(), Axes: []sweep.Axis{intAxis("NoC", nocs)}, Seeds: o.Seeds}
+	res, err := g.Run(func(cfg card.Config, _ []float64, _ int, seed uint64) (sweep.Metrics, error) {
+		return fig14Cell(sc, cfg, seed)
 	})
-	reach := make([]float64, len(nocs))
-	over := make([]float64, len(nocs))
-	for i, res := range results {
-		cell := i / o.Seeds
-		reach[cell] += res.reach / float64(o.Seeds)
-		over[cell] += res.over / float64(o.Seeds)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fig14: %v", err))
 	}
 	maxReach, maxOver := 0.0, 0.0
-	for i := range nocs {
-		if reach[i] > maxReach {
-			maxReach = reach[i]
+	for _, p := range res.Points {
+		if p.Metrics.Reach > maxReach {
+			maxReach = p.Metrics.Reach
 		}
-		if over[i] > maxOver {
-			maxOver = over[i]
+		if p.Metrics.Overhead > maxOver {
+			maxOver = p.Metrics.Overhead
 		}
 	}
 	t := NewTable(
 		fmt.Sprintf("Fig 14: normalized reachability vs overhead trade-off (N=%d, R=3, r=10)", sc.N),
 		"NoC", "reach%", "overhead/node", "norm reach", "norm overhead")
 	for i, noc := range nocs {
+		p := res.Points[i].Metrics
 		nr, no := 0.0, 0.0
 		if maxReach > 0 {
-			nr = reach[i] / maxReach
+			nr = p.Reach / maxReach
 		}
 		if maxOver > 0 {
-			no = over[i] / maxOver
+			no = p.Overhead / maxOver
 		}
-		t.Add(noc, reach[i], over[i], nr, no)
+		t.Add(noc, p.Reach, p.Overhead, nr, no)
 	}
 	return t
 }

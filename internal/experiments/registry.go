@@ -33,6 +33,7 @@ var registry = map[string]Runner{
 	"smallworld":   RunSmallWorld,
 	"scale":        RunScale,
 	"sustained":    RunSustained,
+	"sweep":        RunSweep,
 }
 
 // Names returns the sorted experiment ids.
@@ -64,5 +65,5 @@ var PaperOrder = []string{
 // AblationOrder lists the extra design-choice and future-work experiments.
 var AblationOrder = []string{
 	"abl-methods", "abl-recovery", "abl-qd", "abl-mobility",
-	"replication", "smallworld", "sustained", "scale",
+	"replication", "smallworld", "sustained", "sweep", "scale",
 }

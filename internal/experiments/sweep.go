@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"card/internal/engine"
+	"card/internal/sweep"
+)
+
+// SweepTable renders a completed sweep as an experiments table: one row
+// per seed-averaged grid point, a "*" in the pareto column marking the
+// overhead-vs-reachability frontier.
+func SweepTable(title string, res *sweep.Result) *Table {
+	t := NewTable(title, res.Headers()...)
+	for p := range res.Points {
+		t.Add(res.RowCells(p)...)
+	}
+	return t
+}
+
+// RunSweep is the `sweep` experiment: a stock NoC x r grid over the
+// paper's workhorse scenario run through the generic sweep engine —
+// 10 s of random-waypoint mobility with scheduled maintenance, then a
+// 50-query batch per cell. It demonstrates the trade-off surface the
+// bespoke Fig. 11-14 declarations each slice one line through; ad-hoc
+// grids over any preset run via `cardsim -sweep`.
+func RunSweep(o Options) *Table {
+	o.fill()
+	sc := Scenario5.Scaled(o.Scale)
+	axes, err := sweep.ParseSpec("NoC=2..8..2;r=8..14..2")
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err)) // static spec bug
+	}
+	g := &sweep.Grid{Base: fig10Base(), Axes: axes, Seeds: o.Seeds}
+	er := sweep.EngineRunner{
+		Net: engine.NetworkConfig{
+			Nodes: sc.N, Width: sc.Area.W, Height: sc.Area.H, TxRange: sc.TxRange,
+			Mobility: engine.RandomWaypoint, MinSpeed: 1, MaxSpeed: 19,
+		},
+		Horizon: 10,
+		Queries: 50,
+		Seed:    uint64(sc.ID) << 32,
+	}
+	res, err := g.Run(er.Run)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: sweep: %v", err))
+	}
+	return SweepTable(
+		fmt.Sprintf("Sweep: overhead vs reachability over NoC x r (N=%d, R=3, D=1, 10 s RWP, %d seed(s); * = Pareto frontier)",
+			sc.N, o.Seeds),
+		res)
+}

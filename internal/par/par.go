@@ -2,11 +2,19 @@
 // fan-out of independent index-addressed jobs across GOMAXPROCS goroutines.
 //
 // It sits below every layer that parallelizes — experiments fan whole
-// simulation cells, the engine fans read-only batch queries, the oracle
-// neighborhood warms per-node views — so each layer shares one scheduling
-// idiom instead of growing its own pool. Jobs must be independent: results
-// land in caller-owned slices indexed by job, which keeps every fan-out
-// deterministic regardless of goroutine interleaving.
+// simulation cells, the sweep harness fans grid cells, the engine fans
+// read-only batch queries, the oracle neighborhood warms per-node views —
+// so each layer shares one scheduling idiom instead of growing its own
+// pool. Jobs must be independent: results land in caller-owned slices
+// indexed by job, which keeps every fan-out deterministic regardless of
+// goroutine interleaving.
+//
+// A panicking job does not crash the process from a worker goroutine:
+// the fan-out stops dispatching, waits for in-flight jobs, and re-panics
+// the lowest-indexed captured panic value on the calling goroutine — the
+// same panic a serial loop over the indices would have surfaced first, so
+// panic behavior is deterministic at any worker count (the original stack
+// is lost to recover; the panic value is preserved verbatim).
 package par
 
 import (
@@ -56,20 +64,45 @@ func WorkersN(workers, n int, fn func(worker, i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		// Panic capture: the first panic (by job index, mirroring the order
+		// a serial loop would hit it) is re-raised on the caller after the
+		// join; stop drains the remaining queue so the fan-out ends quickly.
+		stop     atomic.Bool
+		panicMu  sync.Mutex
+		panicIdx int64 = -1
+		panicVal any
+	)
+	runJob := func(worker int, i int64) {
+		defer func() {
+			if r := recover(); r != nil {
+				stop.Store(true)
+				panicMu.Lock()
+				if panicIdx < 0 || i < panicIdx {
+					panicIdx, panicVal = i, r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		fn(worker, int(i))
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			for {
+			for !stop.Load() {
 				i := next.Add(1) - 1
 				if i >= int64(n) {
 					return
 				}
-				fn(worker, int(i))
+				runJob(worker, i)
 			}
 		}(w)
 	}
 	wg.Wait()
+	if panicIdx >= 0 {
+		panic(panicVal)
+	}
 }

@@ -1,0 +1,199 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLimitAtLeastOne(t *testing.T) {
+	if l := Limit(); l < 1 {
+		t.Fatalf("Limit() = %d, want >= 1", l)
+	}
+	// Limit tracks GOMAXPROCS but never drops below 1.
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	if l := Limit(); l != 1 {
+		t.Fatalf("Limit() at GOMAXPROCS=1 = %d, want 1", l)
+	}
+}
+
+func TestDoCoversAllIndicesExactlyOnce(t *testing.T) {
+	counts := make([]atomic.Int32, 1000)
+	Do(len(counts), func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d executed %d times, want 1", i, c)
+		}
+	}
+	Do(0, func(int) { t.Error("fn called for n = 0") })
+	Do(-3, func(int) { t.Error("fn called for n < 0") })
+}
+
+func TestWorkersNClampsWorkerIDs(t *testing.T) {
+	// worker ids must be dense in [0, min(workers, n)).
+	cases := []struct{ workers, n, maxID int }{
+		{8, 3, 2},  // more workers than jobs: ids clamp to n
+		{2, 50, 1}, // fewer workers than jobs
+		{1, 10, 0}, // serial path
+	}
+	for _, c := range cases {
+		var maxSeen atomic.Int32
+		maxSeen.Store(-1)
+		WorkersN(c.workers, c.n, func(worker, i int) {
+			for {
+				cur := maxSeen.Load()
+				if int32(worker) <= cur || maxSeen.CompareAndSwap(cur, int32(worker)) {
+					break
+				}
+			}
+		})
+		if got := int(maxSeen.Load()); got > c.maxID {
+			t.Errorf("WorkersN(%d, %d): max worker id %d, want <= %d", c.workers, c.n, got, c.maxID)
+		}
+	}
+	WorkersN(0, 5, func(int, int) { t.Error("fn called for workers = 0") })
+}
+
+// TestWorkerIDNeverConcurrent pins the per-worker-scratch contract: no two
+// jobs with the same worker id may ever overlap in time.
+func TestWorkerIDNeverConcurrent(t *testing.T) {
+	const workers, jobs = 4, 400
+	busy := make([]atomic.Bool, workers)
+	var violations atomic.Int32
+	WorkersN(workers, jobs, func(worker, i int) {
+		if !busy[worker].CompareAndSwap(false, true) {
+			violations.Add(1)
+		}
+		runtime.Gosched() // widen the race window
+		busy[worker].Store(false)
+	})
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d jobs observed their worker id already busy", v)
+	}
+}
+
+// TestSerialPathPreservesOrder pins that the workers==1 fast path is the
+// plain index-order loop: fan-outs bounded to one worker are the serial
+// reference the equivalence tests compare against.
+func TestSerialPathPreservesOrder(t *testing.T) {
+	var order []int
+	WorkersN(1, 20, func(worker, i int) {
+		if worker != 0 {
+			t.Fatalf("serial path used worker id %d", worker)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestDistributionDeterminism pins that results indexed by job are
+// identical across repeated runs and worker counts — the property every
+// layer above relies on for bit-identical serial vs sharded output.
+func TestDistributionDeterminism(t *testing.T) {
+	compute := func(workers int) []uint64 {
+		out := make([]uint64, 300)
+		WorkersN(workers, len(out), func(_, i int) {
+			v := uint64(i) * 0x9e3779b97f4a7c15
+			out[i] = v ^ (v >> 29)
+		})
+		return out
+	}
+	ref := compute(1)
+	for _, w := range []int{2, 4, 16} {
+		got := compute(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// mustPanic runs fn and returns the recovered panic value, failing the
+// test when fn does not panic.
+func mustPanic(t *testing.T, fn func()) (val any) {
+	t.Helper()
+	defer func() { val = recover() }()
+	fn()
+	t.Fatal("no panic surfaced")
+	return nil
+}
+
+func TestPanicPropagatesFromWorkers(t *testing.T) {
+	const bad = 57
+	var executed atomic.Int32
+	val := mustPanic(t, func() {
+		WorkersN(4, 200, func(_, i int) {
+			executed.Add(1)
+			if i == bad {
+				panic(i)
+			}
+		})
+	})
+	if val != bad {
+		t.Errorf("recovered %v, want %d", val, bad)
+	}
+	// The fan-out stops dispatching after a panic; with only one panicking
+	// job everything before it still ran (claims are monotone).
+	if n := executed.Load(); int(n) <= bad {
+		t.Errorf("only %d jobs executed, want > %d", n, bad)
+	}
+}
+
+func TestPanicPropagatesSerial(t *testing.T) {
+	val := mustPanic(t, func() {
+		WorkersN(1, 10, func(_, i int) {
+			if i == 3 {
+				panic("boom")
+			}
+		})
+	})
+	if val != "boom" {
+		t.Errorf("recovered %v, want boom", val)
+	}
+}
+
+// TestPanicLowestIndexWins pins the determinism of panic propagation:
+// when several jobs panic, the one a serial loop would have hit first is
+// the one re-raised, at any worker count.
+func TestPanicLowestIndexWins(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		val := mustPanic(t, func() {
+			WorkersN(workers, 100, func(_, i int) { panic(i) })
+		})
+		if val != 0 {
+			t.Errorf("workers=%d: recovered %v, want 0 (lowest claimed index)", workers, val)
+		}
+	}
+}
+
+// TestPanicLeavesPoolReusable pins that a fan-out that panicked does not
+// poison subsequent fan-outs (no stuck goroutines, no stale stop flags).
+func TestPanicLeavesPoolReusable(t *testing.T) {
+	mustPanic(t, func() {
+		WorkersN(4, 50, func(_, i int) {
+			if i%2 == 0 {
+				panic(i)
+			}
+		})
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	done := make([]bool, 64)
+	go func() {
+		defer wg.Done()
+		WorkersN(4, len(done), func(_, i int) { done[i] = true })
+	}()
+	wg.Wait()
+	for i, d := range done {
+		if !d {
+			t.Fatalf("post-panic fan-out skipped index %d", i)
+		}
+	}
+}

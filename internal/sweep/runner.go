@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	proto "card/internal/card"
+	"card/internal/engine"
+	"card/internal/stats"
+	"card/internal/xrand"
+)
+
+// pairSalt decorrelates the query-pair stream from the engine run stream.
+const pairSalt = 0x517cc1b727220a95
+
+// EngineRunner is the default cell runner: each cell is one isolated
+// engine run — build the network, select contacts, advance the horizon
+// under scheduled maintenance, then measure reachability and a batched
+// query load.
+//
+// Determinism: the cell's network seed is the counter-based substream
+// (pointIdx, seed) of Seed (xrand.StreamSeed), so every cell's randomness
+// is a pure function of its grid coordinates — independent of sweep
+// worker count and of every other cell. The engine's own internal
+// parallelism (maintenance rounds, batch queries) is bit-identical to its
+// serial loops by the engine's standing contract, so it composes freely
+// with the sweep fan-out.
+type EngineRunner struct {
+	// Net is the scenario every cell instantiates (the cell seed
+	// overrides Net.Seed).
+	Net engine.NetworkConfig
+	// Horizon is the simulated seconds each cell advances before
+	// measuring (0 = static: measure right after initial selection).
+	Horizon float64
+	// Queries is the batched query-load size per cell (0 = skip the
+	// query phase; Success/Msgs/Hops stay zero).
+	Queries int
+	// Seed is the sweep's root seed; cell streams derive from it.
+	Seed uint64
+}
+
+// Run implements Runner.
+func (er EngineRunner) Run(cfg proto.Config, _ []float64, pointIdx int, seed uint64) (Metrics, error) {
+	nc := er.Net
+	nc.Seed = xrand.New(er.Seed).StreamSeed(uint64(pointIdx), seed)
+	e, err := engine.New(nc, cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	e.SelectContacts()
+	if er.Horizon > 0 {
+		e.Advance(er.Horizon)
+	}
+	var out Metrics
+	m := e.Messages()
+	n := float64(e.Nodes())
+	out.Overhead = float64(m.Selection+m.Backtrack+m.Validation+m.Recovery) / n
+	if er.Horizon > 0 {
+		out.Overhead /= er.Horizon
+	}
+	out.Reach = e.MeanReachability(e.Config().Depth)
+	if er.Queries > 0 {
+		pairs := e.RandomPairs(er.Queries, nc.Seed^pairSalt)
+		res := e.BatchQuery(pairs)
+		msgs := make([]float64, len(res))
+		hops := make([]float64, 0, len(res))
+		found := 0
+		for i, r := range res {
+			msgs[i] = float64(r.Messages)
+			if r.Found {
+				found++
+				hops = append(hops, float64(r.PathHops))
+			}
+		}
+		if len(res) > 0 {
+			out.Success = 100 * float64(found) / float64(len(res))
+		}
+		out.Msgs = stats.Summarize(msgs)
+		out.Hops = stats.Summarize(hops)
+	}
+	return out, nil
+}

@@ -1,0 +1,285 @@
+// Package sweep is the generic parameter-study engine: it spans a grid
+// over the CARD configuration axes (R, r, NoC, depth of search, selection
+// method, validation period) times independent seeds, runs every cell as
+// an isolated simulation, and aggregates the overhead-vs-reachability
+// trade-off the paper's evaluation revolves around — including the Pareto
+// frontier of non-dominated configurations.
+//
+// # Cell isolation and determinism
+//
+// A cell is one (grid point, seed) pair. Cells share nothing: each owns
+// its whole simulation (network, protocol, RNG lineage), with the default
+// engine-backed runner seeding every cell from the counter-based
+// substream (pointIdx, seed) of the sweep's root seed (xrand.StreamSeed).
+// A cell's result is therefore a pure function of (grid, root seed, cell
+// coordinates) — independent of which worker runs it, in what order, or
+// at what GOMAXPROCS. Results land in slices indexed by cell, so a sweep
+// sharded across the par pool is bit-identical to the same sweep run
+// serially (Grid.Workers = 1); TestSweepParallelEquivalence pins it, the
+// same contract the engine pins for maintenance rounds and batch queries.
+//
+// # Layering
+//
+// sweep sits beside experiments: experiments declares the paper's figure
+// sweeps as thin grids over this harness (plus bespoke time-series cell
+// bodies via RunCells), while cmd/cardsim -sweep exposes ad-hoc grids over
+// any workload preset.
+package sweep
+
+import (
+	"fmt"
+
+	proto "card/internal/card"
+	"card/internal/par"
+	"card/internal/stats"
+)
+
+// Axis is one swept parameter: a canonical config-axis name (see
+// ParseSpec for the grammar and accepted names) plus the values it takes.
+type Axis struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// Label renders value index i of the axis for human-facing output
+// (methods render as EM/PM1/PM2, numbers compactly).
+func (a Axis) Label(i int) string {
+	d, err := canonAxis(a.Name)
+	if err != nil {
+		return fmt.Sprintf("%g", a.Values[i])
+	}
+	return d.render(a.Values[i])
+}
+
+// Grid spans the cartesian product of its axes, times Seeds repetitions
+// per point. The zero Workers uses up to GOMAXPROCS cell workers; 1 forces
+// the serial reference order (results are bit-identical either way).
+type Grid struct {
+	// Base is the configuration every cell starts from; axis values are
+	// applied on top.
+	Base proto.Config
+	// Axes are the swept parameters; the last axis varies fastest in the
+	// point enumeration. An empty Axes is a single-point grid.
+	Axes []Axis
+	// Seeds is the number of independent repetitions per point (>= 1;
+	// 0 defaults to 1). Cell c of point p runs with seed c+1, matching the
+	// experiment harness convention.
+	Seeds int
+	// Workers bounds the cell fan-out: 0 = up to GOMAXPROCS, 1 = serial.
+	Workers int
+}
+
+// maxCells bounds a grid's total size; a sweep beyond it is almost
+// certainly a spec typo (e.g. a float step underflow).
+const maxCells = 100_000
+
+// Validate checks the grid and fills defaults in place.
+func (g *Grid) Validate() error {
+	if g.Seeds <= 0 {
+		g.Seeds = 1
+	}
+	seen := make(map[string]bool, len(g.Axes))
+	for i, a := range g.Axes {
+		d, err := canonAxis(a.Name)
+		if err != nil {
+			return err
+		}
+		if len(a.Values) == 0 {
+			return fmt.Errorf("sweep: axis %s has no values", a.Name)
+		}
+		if seen[d.canon] {
+			return fmt.Errorf("sweep: axis %s appears twice", d.canon)
+		}
+		seen[d.canon] = true
+		g.Axes[i].Name = d.canon
+		for _, v := range a.Values {
+			if err := d.check(v); err != nil {
+				return err
+			}
+		}
+	}
+	if c := g.Points() * g.Seeds; c > maxCells {
+		return fmt.Errorf("sweep: grid spans %d cells, max %d", c, maxCells)
+	}
+	return nil
+}
+
+// Points returns the number of grid points (1 with no axes).
+func (g *Grid) Points() int {
+	n := 1
+	for _, a := range g.Axes {
+		n *= len(a.Values)
+	}
+	return n
+}
+
+// Cells returns the total number of (point, seed) cells.
+func (g *Grid) Cells() int { return g.Points() * g.Seeds }
+
+// Point returns the axis values of point idx: the enumeration is
+// row-major with the last axis varying fastest.
+func (g *Grid) Point(idx int) []float64 {
+	vals := make([]float64, len(g.Axes))
+	for i := len(g.Axes) - 1; i >= 0; i-- {
+		n := len(g.Axes[i].Values)
+		vals[i] = g.Axes[i].Values[idx%n]
+		idx /= n
+	}
+	return vals
+}
+
+// Config materializes the cell configuration of a point: Base with the
+// axis values applied. Cross-field consistency (e.g. r > R) is checked by
+// the consumer's Config.Validate, so a grid may legally span points that
+// turn out invalid — those cells surface the validation error.
+func (g *Grid) Config(point []float64) (proto.Config, error) {
+	cfg := g.Base
+	for i, a := range g.Axes {
+		d, err := canonAxis(a.Name)
+		if err != nil {
+			return cfg, err
+		}
+		if err := d.apply(&cfg, point[i]); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// RunCells runs one isolated cell per (point, seed) across the grid's
+// worker bound and returns results indexed cell-major: cell i is point
+// i/Seeds, repetition i%Seeds, run with seed (i%Seeds)+1. The cell body
+// must be a pure function of its arguments (build your own simulation
+// from them); results are then bit-identical at any worker count. This is
+// the generic layer the figure sweeps use for time-series cells; scalar
+// studies use Grid.Run on top.
+func RunCells[M any](g *Grid, cell func(cfg proto.Config, point []float64, pointIdx int, seed uint64) M) ([]M, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	points := g.Points()
+	// Materialize configs up front: spec-level errors surface before any
+	// simulation spins up, and workers share read-only state.
+	cfgs := make([]proto.Config, points)
+	pts := make([][]float64, points)
+	for p := 0; p < points; p++ {
+		pts[p] = g.Point(p)
+		cfg, err := g.Config(pts[p])
+		if err != nil {
+			return nil, err
+		}
+		cfgs[p] = cfg
+	}
+	out := make([]M, g.Cells())
+	workers := g.Workers
+	if workers <= 0 {
+		workers = par.Limit()
+	}
+	par.WorkersN(workers, len(out), func(_, i int) {
+		p := i / g.Seeds
+		out[i] = cell(cfgs[p], pts[p], p, uint64(i%g.Seeds)+1)
+	})
+	return out, nil
+}
+
+// Metrics are the scalar measurements of one cell (or the seed-average of
+// one point): the paper's §IV–§V trade-off quantities.
+type Metrics struct {
+	// Overhead is selection+maintenance control messages per node per
+	// simulated second (total per node for horizon-less static cells).
+	Overhead float64 `json:"overhead"`
+	// Reach is the mean reachability percentage at the cell's depth.
+	Reach float64 `json:"reach"`
+	// Success is the batched-query success percentage.
+	Success float64 `json:"success"`
+	// Msgs summarizes control messages per query (P50/P95/P99 quantiles).
+	Msgs stats.Summary `json:"msgs"`
+	// Hops summarizes discovered-path lengths over the found queries.
+	Hops stats.Summary `json:"hops"`
+}
+
+// Runner computes one cell's scalar metrics. Implementations must derive
+// all randomness from (pointIdx, seed) — see EngineRunner for the default.
+type Runner func(cfg proto.Config, point []float64, pointIdx int, seed uint64) (Metrics, error)
+
+// Cell is one executed (point, seed) run.
+type Cell struct {
+	PointIdx int     `json:"point"`
+	Seed     uint64  `json:"seed"`
+	Metrics  Metrics `json:"metrics"`
+}
+
+// PointResult is the seed-average of one grid point. Quantile summaries
+// average field-wise across seeds (N sums), the experiment harness
+// convention for repeated cells.
+type PointResult struct {
+	Point   []float64 `json:"point"`
+	Metrics Metrics   `json:"metrics"`
+	// OnFrontier marks membership of the overhead-vs-reach Pareto
+	// frontier (see Result.Pareto).
+	OnFrontier bool `json:"pareto"`
+}
+
+// Result is a completed sweep.
+type Result struct {
+	Axes   []Axis        `json:"axes"`
+	Seeds  int           `json:"seeds"`
+	Cells  []Cell        `json:"cells"`
+	Points []PointResult `json:"points"`
+}
+
+// Run executes the grid with the given cell runner and aggregates per
+// point. The first cell error (in cell order) aborts the sweep.
+func (g *Grid) Run(run Runner) (*Result, error) {
+	type outcome struct {
+		m   Metrics
+		err error
+	}
+	cells, err := RunCells(g, func(cfg proto.Config, point []float64, pointIdx int, seed uint64) outcome {
+		m, err := run(cfg, point, pointIdx, seed)
+		return outcome{m, err}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		if c.err != nil {
+			return nil, fmt.Errorf("sweep: cell %d (point %v, seed %d): %w",
+				i, g.Point(i/g.Seeds), i%g.Seeds+1, c.err)
+		}
+	}
+	res := &Result{Axes: g.Axes, Seeds: g.Seeds}
+	res.Cells = make([]Cell, len(cells))
+	for i, c := range cells {
+		res.Cells[i] = Cell{PointIdx: i / g.Seeds, Seed: uint64(i%g.Seeds) + 1, Metrics: c.m}
+	}
+	res.Points = make([]PointResult, g.Points())
+	s := float64(g.Seeds)
+	for p := range res.Points {
+		pr := PointResult{Point: g.Point(p)}
+		for k := 0; k < g.Seeds; k++ {
+			m := cells[p*g.Seeds+k].m
+			pr.Metrics.Overhead += m.Overhead / s
+			pr.Metrics.Reach += m.Reach / s
+			pr.Metrics.Success += m.Success / s
+			addSummary(&pr.Metrics.Msgs, m.Msgs, s)
+			addSummary(&pr.Metrics.Hops, m.Hops, s)
+		}
+		res.Points[p] = pr
+	}
+	for _, i := range res.Pareto() {
+		res.Points[i].OnFrontier = true
+	}
+	return res, nil
+}
+
+// addSummary folds one seed's quantile summary into the point average:
+// quantiles and means average field-wise, sample counts sum.
+func addSummary(dst *stats.Summary, src stats.Summary, seeds float64) {
+	dst.N += src.N
+	dst.Mean += src.Mean / seeds
+	dst.P50 += src.P50 / seeds
+	dst.P95 += src.P95 / seeds
+	dst.P99 += src.P99 / seeds
+	dst.Max += src.Max / seeds
+}
