@@ -1,0 +1,48 @@
+package card
+
+import "testing"
+
+// TestAllocBudgetAdvance1k pins the steady-state allocation cost of one
+// engine tick at the 1k scale. The scenario deliberately minimizes real
+// protocol work — static nodes, dirty maintenance, serial rounds — so
+// what remains per Advance(period) is the fixed machinery: the event-queue
+// reschedule, the (empty-diff) topology refresh, the oracle epoch advance
+// and the restricted round over the below-NoC stragglers. The flat-slab
+// contact tables and the reused maintainer/walk scratch are what keep this
+// figure flat; before them, every round paid O(N) table and path churn.
+//
+// The budget is allocations per tick, not bytes: a steady state that
+// allocates proportionally to N (or to NoC·N paths) fails loudly here
+// long before it shows up as GC pressure at 100k.
+func TestAllocBudgetAdvance1k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	sim, err := NewSimulation(NetworkConfig{
+		Nodes: 1000, Width: 1500, Height: 1500, TxRange: 100,
+		DirtyMaintenance: true, Seed: 9,
+	}, Config{R: 2, MaxContactDist: 10, NoC: 6, Depth: 2, ValidatePeriod: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SelectContacts()
+	sim.Engine().SetMaintainWorkers(1)
+	period := sim.Config().ValidatePeriod
+	// Warm up: let retrying walkers exhaust their fresh randomness churn
+	// and every reusable buffer reach its steady capacity.
+	for i := 0; i < 5; i++ {
+		sim.Advance(period)
+	}
+	got := testing.AllocsPerRun(20, func() {
+		sim.Advance(period)
+	})
+	// Steady-state ticks on this scenario measure ~3 allocations (the
+	// event-queue reschedule plus walk-retry leftovers). The budget
+	// leaves slack for toolchain drift but sits three orders of magnitude
+	// below the ~N·NoC the pre-slab representation paid.
+	const budget = 50
+	t.Logf("allocs per 1k-node tick: %.1f (budget %d)", got, budget)
+	if got > budget {
+		t.Errorf("steady-state tick allocates %.1f times, budget %d", got, budget)
+	}
+}

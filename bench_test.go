@@ -439,6 +439,77 @@ func BenchmarkSweepGrid1k(b *testing.B) {
 	b.ReportMetric(best.Overhead, "frontier-max-overhead")
 }
 
+// new100k builds the citywide-rwp-100k preset simulation with initial
+// contacts selected — the shared untimed setup of the 100k benchmarks.
+// The preset runs DirtyMaintenance: long RWP pauses keep per-refresh
+// adjacency diffs sparse, so steady-state rounds touch a small fraction
+// of the 100k tables, which is the regime these benchmarks record.
+func new100k(tb testing.TB) *Simulation {
+	sim, err := NewPresetSimulation("citywide-rwp-100k", 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sim.SelectContacts()
+	return sim
+}
+
+// BenchmarkAdvance100k measures one ValidatePeriod of engine time on the
+// 100k preset — mobility stepping, incremental topology refresh, dirty-set
+// expansion and the restricted maintenance round. CI records it (with
+// allocation figures) in BENCH_6.json.
+func BenchmarkAdvance100k(b *testing.B) {
+	sim := new100k(b)
+	period := sim.Config().ValidatePeriod
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Advance(period)
+	}
+	b.ReportMetric(float64(sim.Engine().LastRoundNodes()), "round-nodes")
+}
+
+// BenchmarkMaintain100k isolates the restricted maintenance round at 100k:
+// mobility and the topology refresh run off the clock (as in
+// benchMaintain5k), so the timed section is dirty-list construction plus
+// the round over it.
+func BenchmarkMaintain100k(b *testing.B) {
+	sim := new100k(b)
+	period := sim.Config().ValidatePeriod
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sim.Advance(0.95 * period) // mobility + dirty accumulation, off the clock
+		b.StartTimer()
+		sim.Maintain()
+	}
+	b.ReportMetric(float64(sim.Engine().LastRoundNodes()), "round-nodes")
+}
+
+// BenchmarkWorkload100k streams 2 simulated seconds of 200 qps Zipf-skewed
+// open-loop traffic against the 100k network per iteration — the
+// serving-scale record at the ceiling-breaking size. The workload path
+// retains no per-query slices (stats.Window + Welford), so the iteration
+// cost is query execution, not report assembly.
+func BenchmarkWorkload100k(b *testing.B) {
+	sim := new100k(b)
+	var last *WorkloadReport
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := sim.RunWorkload(WorkloadConfig{
+			QPS: 200, Duration: 2, Resources: 512, Replicas: 8, ZipfS: 0.9,
+			Seed: uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep
+	}
+	b.ReportMetric(last.SuccessPct, "success-%")
+	b.ReportMetric(float64(last.Queries)/2, "achieved-qps")
+}
+
 // BenchmarkMaintenanceRound measures a network-wide validation round under
 // mobility.
 func BenchmarkMaintenanceRound(b *testing.B) {

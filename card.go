@@ -265,8 +265,10 @@ func (s *Simulation) RunWorkload(cfg WorkloadConfig) (*WorkloadReport, error) {
 	return s.e.RunWorkload(cfg)
 }
 
-// Contacts returns node u's current contact table entries.
-func (s *Simulation) Contacts(u NodeID) []*Contact { return s.e.Protocol().Table(u).Contacts() }
+// Contacts returns node u's current contact table entries — a read-only
+// view of the protocol's contact slab, valid until the next maintenance
+// round or churn event.
+func (s *Simulation) Contacts(u NodeID) []Contact { return s.e.Protocol().Table(u).Contacts() }
 
 // Reachability returns the percentage of live network nodes u can reach
 // with a depth-D contact search. Under node churn the denominator is the

@@ -43,12 +43,15 @@ func TestMaintainDropsOutOfBoundContacts(t *testing.T) {
 	cfg := Config{R: 2, MaxContactDist: 10, NoC: 1, Method: EM}
 	p := newProtocol(t, net, cfg, 31)
 	// Inject a fabricated over-long (but hop-valid) contact path 0..12:
-	// 12 hops > r=10, must be dropped by rule 4.
+	// 12 hops > r=10, must be dropped by rule 4. The slab arena only
+	// admits routes within the r-hop bound (the protocol never stores
+	// longer ones), so splice the oversized path into the slot directly.
 	path := make([]NodeID, 13)
 	for i := range path {
 		path[i] = NodeID(i)
 	}
-	p.Table(0).add(&Contact{ID: 12, Path: path})
+	p.Table(0).add(Contact{ID: 12, Path: path[:1]})
+	p.slots[0].Path = path
 	p.Maintain(0, 1)
 	for _, c := range p.Table(0).Contacts() {
 		if c.ID == 12 {
@@ -65,7 +68,7 @@ func TestMaintainDropsTooCloseContacts(t *testing.T) {
 	cfg := Config{R: 2, MaxContactDist: 10, NoC: 1, Method: EM}
 	p := newProtocol(t, net, cfg, 32)
 	// A 3-hop contact: below the EM lower bound 2R=4.
-	p.Table(0).add(&Contact{ID: 3, Path: []NodeID{0, 1, 2, 3}})
+	p.Table(0).add(Contact{ID: 3, Path: []NodeID{0, 1, 2, 3}})
 	p.Maintain(0, 1)
 	for _, c := range p.Table(0).Contacts() {
 		if c.ID == 3 {
@@ -85,7 +88,7 @@ func TestMaintainRefillsDeficit(t *testing.T) {
 	if had == 0 {
 		t.Skip("node 0 found no contacts in this topology")
 	}
-	p.Table(src).contacts = nil
+	p.Table(src).clear()
 	p.Maintain(src, 5)
 	if p.Table(src).Len() == 0 {
 		t.Error("maintenance did not refill an emptied table")
@@ -117,7 +120,7 @@ func TestLocalRecoverySplicesPath(t *testing.T) {
 	cfg := Config{R: 2, MaxContactDist: 10, NoC: 1, Method: EM, ValidatePeriod: 1}
 	p := newProtocol(t, net, cfg, 34)
 	c := &Contact{ID: 5, Path: []NodeID{0, 1, 2, 3, 4, 5}}
-	p.Table(0).add(c)
+	p.Table(0).add(*c)
 
 	// Break the path: move node 2 far away.
 	teleport(net, 2, 500, 500)
@@ -151,7 +154,7 @@ func TestLocalRecoverySkipsToLaterPathNodes(t *testing.T) {
 	cfg := Config{R: 3, MaxContactDist: 10, NoC: 1, Method: EM}
 	p := newProtocol(t, net, cfg, 35)
 	c := &Contact{ID: 5, Path: []NodeID{0, 1, 2, 3, 4, 5}}
-	p.Table(0).add(c)
+	p.Table(0).add(*c)
 	teleport(net, 2, 500, 500)
 	teleport(net, 3, 500, 400)
 
@@ -184,7 +187,7 @@ func TestLocalRecoverySpliceCompactsLoops(t *testing.T) {
 	cfg := Config{R: 3, MaxContactDist: 10, NoC: 1, Method: EM}
 	p := newProtocol(t, net, cfg, 37)
 	c := &Contact{ID: 3, Path: []NodeID{0, 1, 2, 3}}
-	p.Table(0).add(c)
+	p.Table(0).add(*c)
 	teleport(net, 2, 500, 500)
 
 	newPath, ok := validateOnce(p, c)
@@ -214,7 +217,7 @@ func TestDisableLocalRecoveryLosesContact(t *testing.T) {
 	cfg := Config{R: 2, MaxContactDist: 10, NoC: 1, Method: EM, DisableLocalRecovery: true}
 	p := newProtocol(t, net, cfg, 36)
 	c := &Contact{ID: 5, Path: []NodeID{0, 1, 2, 3, 4, 5}}
-	p.Table(0).add(c)
+	p.Table(0).add(*c)
 	teleport(net, 2, 500, 500)
 	if _, ok := validateOnce(p, c); ok {
 		t.Fatal("recovery disabled but path still validated")

@@ -1,7 +1,6 @@
 package card
 
 import (
-	"card/internal/bitset"
 	"card/internal/manet"
 	"card/internal/xrand"
 )
@@ -35,14 +34,25 @@ type Maintainer struct {
 	visited  []uint64
 	visitGen uint64
 
-	// ineligible is the per-CSQ selection-overlap scratch; see
-	// computeIneligible.
-	ineligible *bitset.Set
+	// ineligible is the per-CSQ selection-overlap scratch, epoch stamped
+	// like visited; see computeIneligible.
+	ineligible []uint64
+	ineligGen  uint64
 
 	// rng is reseeded from the (node, round) substream at every
 	// MaintainNode/SelectNode entry; it must never be drawn from before a
 	// reseed.
 	rng *xrand.Rand
+
+	// Reusable walk and validation scratch, grown on demand and retained
+	// across rounds: the EM/PM walk stack, the per-step candidate list,
+	// the shuffled edge-node copy and validatePath's rebuilt route. The
+	// old per-walk allocations of these were the dominant GC churn of a
+	// maintenance round.
+	stack   []NodeID
+	cand    []NodeID
+	edges   []NodeID
+	pathOut []NodeID
 
 	// Locally accumulated protocol statistics and transmission tallies,
 	// flushed on demand.
@@ -56,7 +66,7 @@ func (p *Protocol) NewMaintainer() *Maintainer {
 	return &Maintainer{
 		p:          p,
 		visited:    make([]uint64, p.net.N()),
-		ineligible: bitset.New(p.net.N()),
+		ineligible: make([]uint64, p.net.N()),
 		rng:        xrand.New(0), // reseeded per (node, round) before use
 	}
 }
@@ -124,20 +134,21 @@ func (m *Maintainer) MaintainNode(u NodeID, now float64, round uint64) {
 // coin flips may simply have failed (the paper's "lost opportunities").
 func (m *Maintainer) selectContacts(u NodeID, now float64) int {
 	p := m.p
-	t := p.tables[u]
+	t := &p.tables[u]
 	if t.Len() >= p.cfg.NoC {
 		return 0
 	}
-	edges := append([]NodeID(nil), p.nb.EdgeNodes(u)...)
+	edges := append(m.edges[:0], p.nb.EdgeNodes(u)...)
+	m.edges = edges
 	m.rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
 	added, failures := 0, 0
 	for _, e := range edges {
 		if t.Len() >= p.cfg.NoC {
 			break
 		}
-		c, exhausted := m.runCSQ(u, e, now)
-		if c != nil {
-			t.add(c)
+		path, exhausted := m.runCSQ(u, e, now)
+		if path != nil {
+			t.add(Contact{ID: path[len(path)-1], Path: path, SelectedAt: now, LastValidated: now})
 			m.stats.ContactsSelected++
 			added++
 		}
@@ -155,10 +166,9 @@ func (m *Maintainer) selectContacts(u NodeID, now float64) int {
 // generator; see Protocol.Maintain for the five rules.
 func (m *Maintainer) maintain(u NodeID, now float64) {
 	p := m.p
-	t := p.tables[u]
-	for i := 0; i < len(t.contacts); {
-		c := t.contacts[i]
-		newPath, ok := m.validatePath(c)
+	t := &p.tables[u]
+	for i := 0; i < t.Len(); {
+		newPath, ok := m.validatePath(t.at(i))
 		if !ok {
 			m.stats.ContactsLost++
 			t.removeAt(i)
@@ -172,8 +182,8 @@ func (m *Maintainer) maintain(u NodeID, now float64) {
 			t.removeAt(i)
 			continue
 		}
-		c.Path = newPath
-		c.LastValidated = now
+		t.setPath(i, newPath)
+		t.at(i).LastValidated = now
 		i++
 	}
 	if t.Len() < p.cfg.NoC {
@@ -181,7 +191,7 @@ func (m *Maintainer) maintain(u NodeID, now float64) {
 	}
 }
 
-// computeIneligible fills m.ineligible with every node that must refuse
+// computeIneligible stamps into m.ineligible every node that must refuse
 // contact-hood for source u.
 //
 // The paper phrases the test locally at the candidate X: "X checks if the
@@ -191,18 +201,28 @@ func (m *Maintainer) maintain(u NodeID, now float64) {
 // (y in N(X)) == (X in N(y)); the union of N(source), N(contact_i) and —
 // for EM — N(edge_j) therefore contains exactly the candidates that would
 // refuse. Precomputing that union once per CSQ replaces O(|Contact_List| +
-// |Edge_List|) membership probes at every visited node with one bit test,
-// without changing the decision each node would make.
+// |Edge_List|) membership probes at every visited node with one stamp
+// comparison, without changing the decision each node would make. Marking
+// the sorted member lists costs O(Σ|ball|), independent of N — where the
+// old N-bit set unions made every CSQ pay O(N/64) at 100k nodes.
 func (m *Maintainer) computeIneligible(u NodeID) {
 	p := m.p
-	set := m.ineligible
-	set.CopyFrom(p.nb.Set(u))
-	for _, c := range p.tables[u].contacts {
-		set.UnionWith(p.nb.Set(c.ID))
+	m.ineligGen++
+	gen := m.ineligGen
+	for _, x := range p.nb.Members(u) {
+		m.ineligible[x] = gen
+	}
+	t := &p.tables[u]
+	for i := 0; i < t.Len(); i++ {
+		for _, x := range p.nb.Members(t.at(i).ID) {
+			m.ineligible[x] = gen
+		}
 	}
 	if p.cfg.Method == EM {
 		for _, e := range p.nb.EdgeNodes(u) {
-			set.UnionWith(p.nb.Set(e))
+			for _, x := range p.nb.Members(e) {
+				m.ineligible[x] = gen
+			}
 		}
 	}
 }
@@ -210,7 +230,7 @@ func (m *Maintainer) computeIneligible(u NodeID) {
 // accept decides whether node x, reached with CSQ hop count d, becomes a
 // contact for the current walk (§III.C.2).
 func (m *Maintainer) accept(x NodeID, d int) bool {
-	if m.ineligible.Contains(int(x)) {
+	if m.ineligible[x] == m.ineligGen {
 		return false
 	}
 	switch m.p.cfg.Method {
@@ -224,8 +244,10 @@ func (m *Maintainer) accept(x NodeID, d int) bool {
 }
 
 // runCSQ sends one Contact Selection Query from u through edge node e. It
-// returns the selected contact, or nil with exhausted=true when the walk
-// gave up (region saturated for EM; step budget burned for PM).
+// returns the selected contact's loop-free source route (scratch owned by
+// the Maintainer, valid until its next walk — callers store it via
+// Table.add, which copies), or nil with exhausted=true when the walk gave
+// up (region saturated for EM; step budget burned for PM).
 //
 // The two walk disciplines deliberately differ, following §III.C.2:
 //
@@ -246,7 +268,7 @@ func (m *Maintainer) accept(x NodeID, d int) bool {
 // CatCSQ; every reverse hop (dead-end retreat, r-shell bounce, and the
 // failure report back to the source) counts as CatBacktrack; the success
 // reply returning the contact path counts as CatCSQ.
-func (m *Maintainer) runCSQ(u, e NodeID, now float64) (c *Contact, exhausted bool) {
+func (m *Maintainer) runCSQ(u, e NodeID, now float64) (path []NodeID, exhausted bool) {
 	m.stats.CSQLaunched++
 	route := m.p.nb.Route(u, e)
 	if route == nil {
@@ -255,21 +277,21 @@ func (m *Maintainer) runCSQ(u, e NodeID, now float64) (c *Contact, exhausted boo
 	m.computeIneligible(u)
 	m.sendHops(manet.CatCSQ, len(route)-1)
 	if m.p.cfg.Method == EM {
-		return m.walkEM(route, now)
+		return m.walkEM(route)
 	}
-	return m.walkPM(route, now)
+	return m.walkPM(route)
 }
 
 // walkEM runs the edge method's loop-free depth-first walk.
-func (m *Maintainer) walkEM(route []NodeID, now float64) (*Contact, bool) {
+func (m *Maintainer) walkEM(route []NodeID) ([]NodeID, bool) {
 	m.visitGen++
 	gen := m.visitGen
 	for _, n := range route {
 		m.visited[n] = gen
 	}
-	stack := append([]NodeID(nil), route...)
+	stack := append(m.stack[:0], route...)
 	r := m.p.cfg.MaxContactDist
-	var cand []NodeID
+	cand := m.cand
 	for {
 		x := stack[len(stack)-1]
 		d := len(stack) - 1
@@ -289,6 +311,7 @@ func (m *Maintainer) walkEM(route []NodeID, now float64) (*Contact, bool) {
 			stack = stack[:len(stack)-1]
 			if len(stack) < len(route) {
 				m.sendHops(manet.CatBacktrack, len(stack)-1)
+				m.stack, m.cand = stack, cand
 				return nil, true
 			}
 			continue
@@ -298,7 +321,8 @@ func (m *Maintainer) walkEM(route []NodeID, now float64) (*Contact, bool) {
 		stack = append(stack, y)
 		m.sendHop(manet.CatCSQ)
 		if m.accept(y, len(stack)-1) {
-			return m.acceptContact(stack, now), false
+			m.stack, m.cand = stack, cand
+			return m.acceptContact(stack), false
 		}
 	}
 }
@@ -306,11 +330,11 @@ func (m *Maintainer) walkEM(route []NodeID, now float64) (*Contact, bool) {
 // walkPM runs the probabilistic methods' memoryless walk: forward to a
 // random neighbor other than the parent, bounce off the r-hop shell, and
 // give up when the per-query step budget is gone.
-func (m *Maintainer) walkPM(route []NodeID, now float64) (*Contact, bool) {
-	stack := append([]NodeID(nil), route...)
+func (m *Maintainer) walkPM(route []NodeID) ([]NodeID, bool) {
+	stack := append(m.stack[:0], route...)
 	r := m.p.cfg.MaxContactDist
 	budget := m.csqBudget()
-	var cand []NodeID
+	cand := m.cand
 	for budget > 0 {
 		x := stack[len(stack)-1]
 		d := len(stack) - 1
@@ -330,6 +354,7 @@ func (m *Maintainer) walkPM(route []NodeID, now float64) (*Contact, bool) {
 			stack = stack[:len(stack)-1]
 			if len(stack) < len(route) {
 				m.sendHops(manet.CatBacktrack, len(stack)-1)
+				m.stack, m.cand = stack, cand
 				return nil, true
 			}
 			continue
@@ -339,12 +364,14 @@ func (m *Maintainer) walkPM(route []NodeID, now float64) (*Contact, bool) {
 		m.sendHop(manet.CatCSQ)
 		budget--
 		if m.accept(y, len(stack)-1) {
-			return m.acceptContact(stack, now), false
+			m.stack, m.cand = stack, cand
+			return m.acceptContact(stack), false
 		}
 	}
 	// Budget exhausted mid-walk: the query dies and the current holder
 	// reports failure back along the walk path.
 	m.sendHops(manet.CatBacktrack, len(stack)-1)
+	m.stack, m.cand = stack, cand
 	return nil, true
 }
 
@@ -355,7 +382,9 @@ func (m *Maintainer) csqBudget() int { return 2 * m.p.net.N() }
 
 // acceptContact finalizes a successful walk: the acceptor compacts the
 // accumulated walk into a loop-free source route and returns it to the
-// source, which stores the contact.
+// source, which stores the contact. The compaction runs in place on the
+// walk stack — the walk is over, and the caller copies the route into the
+// table's arena segment before the scratch is reused.
 //
 // The compaction matters for the PM walks, whose memoryless wandering may
 // self-intersect: the acceptance decision uses the raw walk hop count d
@@ -364,16 +393,18 @@ func (m *Maintainer) csqBudget() int { return 2 * m.p.net.N() }
 // inflated and the contact gets wrongly bound-dropped at the next
 // maintenance round. EM walks are simple by construction, so compaction
 // is a no-op for them.
-func (m *Maintainer) acceptContact(stack []NodeID, now float64) *Contact {
-	path := compactLoops(append([]NodeID(nil), stack...))
+func (m *Maintainer) acceptContact(stack []NodeID) []NodeID {
+	path := compactLoops(stack)
 	m.sendHops(manet.CatCSQ, len(path)-1) // reply carrying the loop-free path
 	m.stats.CSQSucceeded++
-	return &Contact{ID: path[len(path)-1], Path: path, SelectedAt: now, LastValidated: now}
+	return path
 }
 
 // validatePath walks a contact's stored source route over the current
 // topology, splicing around missing hops via local recovery. It returns
-// the (possibly re-spliced) path, or ok=false when the contact is lost.
+// the (possibly re-spliced) path — Maintainer-owned scratch, valid until
+// the next validation; callers persist it via Table.setPath, which copies
+// — or ok=false when the contact is lost.
 //
 // Recovery splices can revisit nodes already on the rebuilt prefix — the
 // holder routes around the break through whatever its neighborhood table
@@ -389,8 +420,7 @@ func (m *Maintainer) acceptContact(stack []NodeID, now float64) *Contact {
 func (m *Maintainer) validatePath(c *Contact) (path []NodeID, ok bool) {
 	p := m.p
 	old := c.Path
-	out := make([]NodeID, 1, len(old))
-	out[0] = old[0]
+	out := append(m.pathOut[:0], old[0])
 	i := 0 // index in old of the node the validation message sits at
 	for i+1 < len(old) {
 		cur := out[len(out)-1]
@@ -403,6 +433,7 @@ func (m *Maintainer) validatePath(c *Contact) (path []NodeID, ok bool) {
 		}
 		if p.cfg.DisableLocalRecovery {
 			m.stats.RecoveryFailures++
+			m.pathOut = out
 			return nil, false
 		}
 		// Local recovery: look for the missing hop — and failing that, each
@@ -425,8 +456,10 @@ func (m *Maintainer) validatePath(c *Contact) (path []NodeID, ok bool) {
 		}
 		if !recovered {
 			m.stats.RecoveryFailures++
+			m.pathOut = out
 			return nil, false
 		}
 	}
+	m.pathOut = out
 	return compactLoops(out), true
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"card/internal/bitset"
 	"card/internal/manet"
 	"card/internal/neighborhood"
 	"card/internal/topology"
@@ -20,7 +21,9 @@ type Contact struct {
 	ID NodeID
 	// Path is the source route owner→contact, inclusive of both endpoints.
 	// It is the path the CSQ traveled (spliced by local recovery over time),
-	// not necessarily a shortest path.
+	// not necessarily a shortest path. For contacts stored in a protocol
+	// table the slice aliases the protocol's path arena; treat it as
+	// read-only.
 	Path []NodeID
 	// SelectedAt is the simulation time the contact was chosen.
 	SelectedAt float64
@@ -31,35 +34,98 @@ type Contact struct {
 // Hops returns the source-route length to the contact.
 func (c *Contact) Hops() int { return len(c.Path) - 1 }
 
-// Table is one node's contact table.
+// Table is one node's contact table: a fixed-capacity view over the
+// protocol's contact slab. Node u owns slab slots [u·NoC, u·NoC+n): the
+// spans of distinct nodes are disjoint, which is what lets per-worker
+// Maintainers mutate their shard's tables without locks.
 type Table struct {
-	owner    NodeID
-	contacts []*Contact
+	owner NodeID
+	p     *Protocol
+	n     int32 // live contacts in the span
 }
 
 // Owner returns the owning node.
 func (t *Table) Owner() NodeID { return t.owner }
 
-// Contacts returns the live contacts in selection order. Callers must not
-// mutate the slice.
-func (t *Table) Contacts() []*Contact { return t.contacts }
+// base returns the slab index of the table's first slot.
+func (t *Table) base() int { return int(t.owner) * t.p.cfg.NoC }
+
+// Contacts returns the live contacts in selection order — a slice of the
+// protocol's contact slab. Callers must not mutate it (nor the Path
+// slices, which alias the path arena), and must not retain it across a
+// maintenance round.
+func (t *Table) Contacts() []Contact {
+	b := t.base()
+	return t.p.slots[b : b+int(t.n) : b+int(t.n)]
+}
 
 // Len returns the number of live contacts.
-func (t *Table) Len() int { return len(t.contacts) }
+func (t *Table) Len() int { return int(t.n) }
+
+// at returns the i-th live contact in place.
+func (t *Table) at(i int) *Contact { return &t.p.slots[t.base()+i] }
+
+// AppendIDs appends the contact node ids in selection order to dst and
+// returns the extended slice — the allocation-free sibling of IDs for
+// hot-path callers with a reusable scratch buffer.
+func (t *Table) AppendIDs(dst []NodeID) []NodeID {
+	b := t.base()
+	for i := 0; i < int(t.n); i++ {
+		dst = append(dst, t.p.slots[b+i].ID)
+	}
+	return dst
+}
 
 // IDs returns the contact node ids in selection order.
 func (t *Table) IDs() []NodeID {
-	ids := make([]NodeID, len(t.contacts))
-	for i, c := range t.contacts {
-		ids[i] = c.ID
-	}
-	return ids
+	return t.AppendIDs(make([]NodeID, 0, t.n))
 }
 
-func (t *Table) add(c *Contact) { t.contacts = append(t.contacts, c) }
+// add appends c to the table, copying c.Path into the slot's arena
+// segment. The capacity is exactly NoC — selection never over-fills a
+// table, and the fixed per-node spans are what keep parallel rounds
+// race-free — so overflow is a protocol bug, not a growth event.
+func (t *Table) add(c Contact) {
+	if int(t.n) >= t.p.cfg.NoC {
+		panic("card: contact table overflow")
+	}
+	slot := t.base() + int(t.n)
+	t.p.slots[slot] = Contact{
+		ID:            c.ID,
+		Path:          t.p.setSeg(slot, c.Path),
+		SelectedAt:    c.SelectedAt,
+		LastValidated: c.LastValidated,
+	}
+	t.n++
+}
 
+// setPath replaces contact i's stored route with path (copied into the
+// slot's arena segment). path must not alias the slot's own segment.
+func (t *Table) setPath(i int, path []NodeID) {
+	slot := t.base() + i
+	t.p.slots[slot].Path = t.p.setSeg(slot, path)
+}
+
+// removeAt deletes contact i, preserving selection order: later contacts
+// shift down one slot, their paths copied into the vacated arena segments.
 func (t *Table) removeAt(i int) {
-	t.contacts = append(t.contacts[:i], t.contacts[i+1:]...)
+	b := t.base()
+	for j := i; j < int(t.n)-1; j++ {
+		next := t.p.slots[b+j+1]
+		next.Path = t.p.setSeg(b+j, next.Path)
+		t.p.slots[b+j] = next
+	}
+	t.n--
+	t.p.slots[b+int(t.n)] = Contact{}
+}
+
+// clear drops every contact.
+func (t *Table) clear() {
+	b := t.base()
+	for i := 0; i < int(t.n); i++ {
+		t.p.slots[b+i] = Contact{}
+	}
+	t.n = 0
 }
 
 // Protocol is a CARD instance covering every node of a network. All nodes
@@ -74,11 +140,27 @@ func (t *Table) removeAt(i int) {
 // itself holds only the tables, the run-seed lineage and the aggregated
 // statistics.
 type Protocol struct {
-	cfg    Config
-	net    *manet.Network
-	nb     neighborhood.Provider
-	rng    *xrand.Rand // stream lineage only; rounds draw from (node, round) substreams
-	tables []*Table
+	cfg Config
+	net *manet.Network
+	nb  neighborhood.Provider
+	rng *xrand.Rand // stream lineage only; rounds draw from (node, round) substreams
+
+	// Flat-slab contact storage: tables[u] is a view over slots
+	// [u·NoC, (u+1)·NoC), and slot s stores its source route in the arena
+	// segment pathArena[s·pathCap : (s+1)·pathCap]. Contact values and
+	// their routes for the whole network live in two contiguous
+	// allocations — no per-contact pointers, nothing for the GC to chase,
+	// and a maintenance round walks memory linearly. pathCap is
+	// MaxContactDist+1: stored routes are loop-compacted and bound-checked
+	// to at most r hops before they are admitted.
+	tables    []Table
+	slots     []Contact
+	pathArena []NodeID
+	pathCap   int
+
+	// departed is the churn-expiry scratch (see ExpireNodes); lazily
+	// allocated, cleared by removing only the bits it set.
+	departed *bitset.Set
 
 	// round numbers the selection/maintenance rounds for RNG stream
 	// derivation: round k gives node u the substream (u, k) of rng's
@@ -143,19 +225,36 @@ func New(net *manet.Network, nb neighborhood.Provider, cfg Config, rng *xrand.Ra
 	if nb.R() != cfg.R {
 		return nil, fmt.Errorf("card: neighborhood radius %d != config R %d", nb.R(), cfg.R)
 	}
+	n := net.N()
 	p := &Protocol{
-		cfg:    cfg,
-		net:    net,
-		nb:     nb,
-		rng:    rng,
-		tables: make([]*Table, net.N()),
+		cfg:       cfg,
+		net:       net,
+		nb:        nb,
+		rng:       rng,
+		tables:    make([]Table, n),
+		slots:     make([]Contact, n*cfg.NoC),
+		pathArena: make([]NodeID, n*cfg.NoC*(cfg.MaxContactDist+1)),
+		pathCap:   cfg.MaxContactDist + 1,
 	}
 	for i := range p.tables {
-		p.tables[i] = &Table{owner: NodeID(i)}
+		p.tables[i] = Table{owner: NodeID(i), p: p}
 	}
 	p.maint = p.NewMaintainer()
 	p.querier = p.NewQuerier()
 	return p, nil
+}
+
+// setSeg copies path into slot's arena segment and returns the stored
+// slice (capacity-clamped so appends cannot scribble the next segment).
+// Stored routes never exceed pathCap nodes: walk acceptance bounds them to
+// r hops and maintenance re-admission bound-checks the compacted length.
+func (p *Protocol) setSeg(slot int, path []NodeID) []NodeID {
+	if len(path) > p.pathCap {
+		panic(fmt.Sprintf("card: route of %d nodes exceeds arena segment %d", len(path), p.pathCap))
+	}
+	seg := p.pathArena[slot*p.pathCap : slot*p.pathCap+len(path) : (slot+1)*p.pathCap]
+	copy(seg, path)
+	return seg[:len(path):len(path)]
 }
 
 // NextRound allocates the next RNG round id. Every selection or
@@ -180,7 +279,7 @@ func (p *Protocol) Network() *manet.Network { return p.net }
 func (p *Protocol) Neighborhood() neighborhood.Provider { return p.nb }
 
 // Table returns node u's contact table.
-func (p *Protocol) Table(u NodeID) *Table { return p.tables[u] }
+func (p *Protocol) Table(u NodeID) *Table { return &p.tables[u] }
 
 // Stats returns a copy of the protocol-level statistics.
 func (p *Protocol) Stats() Stats { return p.stats }
@@ -188,8 +287,8 @@ func (p *Protocol) Stats() Stats { return p.stats }
 // TotalContacts returns the number of live contacts across all tables.
 func (p *Protocol) TotalContacts() int {
 	n := 0
-	for _, t := range p.tables {
-		n += t.Len()
+	for i := range p.tables {
+		n += int(p.tables[i].n)
 	}
 	return n
 }
@@ -198,8 +297,8 @@ func (p *Protocol) TotalContacts() int {
 // sorted ascending. Used by the ablation benches to compare methods.
 func (p *Protocol) ContactDistances() []int {
 	var ds []int
-	for _, t := range p.tables {
-		for _, c := range t.contacts {
+	for i := range p.tables {
+		for _, c := range p.tables[i].Contacts() {
 			ds = append(ds, c.Hops())
 		}
 	}

@@ -129,7 +129,9 @@ func (q *Querier) Query(u, target NodeID) QueryResult {
 // traffic or walking the query back to where it started.
 func (q *Querier) dsq(v, target NodeID, depth int) (int, bool) {
 	p := q.p
-	for _, c := range p.tables[v].contacts {
+	cs := p.tables[v].Contacts()
+	for i := range cs {
+		c := &cs[i]
 		if q.visited[c.ID] == q.visitGen {
 			continue
 		}

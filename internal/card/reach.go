@@ -38,19 +38,25 @@ func (p *Protocol) ReachableSet(u NodeID, depth int) *bitset.Set {
 func (p *Protocol) reachableSet(u NodeID, depth int) *bitset.Set {
 	n := p.net.N()
 	set := bitset.New(n)
-	set.UnionWith(p.nb.Set(u))
+	for _, w := range p.nb.Members(u) {
+		set.Add(int(w))
+	}
 	seen := bitset.New(n)
 	seen.Add(int(u))
 	frontier := []NodeID{u}
 	for level := 1; level <= depth && len(frontier) > 0; level++ {
 		var next []NodeID
 		for _, v := range frontier {
-			for _, c := range p.tables[v].contacts {
+			cs := p.tables[v].Contacts()
+			for i := range cs {
+				c := &cs[i]
 				if seen.Contains(int(c.ID)) {
 					continue
 				}
 				seen.Add(int(c.ID))
-				set.UnionWith(p.nb.Set(c.ID))
+				for _, w := range p.nb.Members(c.ID) {
+					set.Add(int(w))
+				}
 				next = append(next, c.ID)
 			}
 		}

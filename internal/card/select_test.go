@@ -61,7 +61,7 @@ func TestSelectEMInvariants(t *testing.T) {
 				t.Fatalf("node %d contact %d: true distance %d <= 2R", u, c.ID, bfs.Dist[c.ID])
 			}
 			// Non-overlap with the source's neighborhood.
-			if nb.Set(src).Intersects(nb.Set(c.ID)) {
+			if neighborhood.Overlaps(nb, src, c.ID) {
 				t.Fatalf("node %d contact %d: neighborhoods overlap", u, c.ID)
 			}
 		}

@@ -37,7 +37,7 @@ func runChurnTrace(t *testing.T, workers, procs int) (maintSnapshot, []proto.Que
 	s.tables = make([][]proto.Contact, e.Nodes())
 	for u := 0; u < e.Nodes(); u++ {
 		for _, c := range p.Table(NodeID(u)).Contacts() {
-			cp := *c
+			cp := c
 			cp.Path = append([]NodeID(nil), c.Path...)
 			s.tables[u] = append(s.tables[u], cp)
 		}

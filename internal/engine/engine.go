@@ -64,6 +64,7 @@ package engine
 import (
 	"fmt"
 
+	"card/internal/bitset"
 	"card/internal/bordercast"
 	proto "card/internal/card"
 	"card/internal/eventq"
@@ -218,6 +219,22 @@ type NetworkConfig struct {
 	DSDVPeriod float64
 	// Topology selects the snapshot strategy (default SpatialGrid).
 	Topology TopologyKind
+	// DirtyMaintenance restricts maintenance and selection rounds to the
+	// nodes whose outcome could differ from a no-op: nodes within
+	// max(R, MaxContactDist) hops of an adjacency change since the last
+	// round (so every possibly-broken stored path and stale neighborhood
+	// view is revisited — see engine/dirty.go for the invariant), plus
+	// every node whose table sits below NoC (covering churn comebacks,
+	// expiry victims and walk retries). Clean nodes' tables are provably
+	// bit-identical to what a full round would leave; the traffic their
+	// trivially-successful validation walks would have generated is not
+	// simulated, which is the point — at 100k mostly-pausing nodes a full
+	// round is O(N·NoC·r) validation hops for nothing.
+	//
+	// Requires the SpatialGrid topology (the incremental builder is what
+	// reports adjacency diffs) and the OracleView substrate (whose views
+	// are retained across refreshes by the same diff).
+	DirtyMaintenance bool
 	// Seed makes the run reproducible; equal seeds give identical runs.
 	Seed uint64
 }
@@ -241,6 +258,14 @@ func (nc *NetworkConfig) fill() error {
 	if (nc.ChurnMeanUp > 0) != (nc.ChurnMeanDown > 0) {
 		return fmt.Errorf("engine: churn needs both ChurnMeanUp and ChurnMeanDown > 0 (got %g, %g)",
 			nc.ChurnMeanUp, nc.ChurnMeanDown)
+	}
+	if nc.DirtyMaintenance {
+		if nc.Topology != SpatialGrid {
+			return fmt.Errorf("engine: DirtyMaintenance requires the SpatialGrid topology (got %v)", nc.Topology)
+		}
+		if nc.Proactive != OracleView {
+			return fmt.Errorf("engine: DirtyMaintenance requires the OracleView substrate")
+		}
 	}
 	return nil
 }
@@ -322,6 +347,18 @@ type Engine struct {
 	// O(N) scratch would otherwise be reallocated every ValidatePeriod);
 	// grown on demand in workerMaintainers.
 	maintPool []*proto.Maintainer
+
+	// Dirty-set round state (NetworkConfig.DirtyMaintenance); see dirty.go.
+	dirtyMode bool
+	oracle    *neighborhood.Oracle // the substrate, concretely; non-nil iff dirtyMode
+	dirtyAcc  *bitset.Set          // nodes dirtied since the last maintenance round
+	dirtyAll  bool                 // a full rebuild invalidated everything
+	lastRound int                  // nodes processed by the most recent round
+	// Multi-source BFS scratch for expanding adjacency diffs.
+	dirtyStamp []uint64
+	dirtyGen   uint64
+	dirtyQueue []NodeID
+	roundList  []NodeID
 }
 
 // New builds a network per nc and a CARD engine per cfg.
@@ -432,6 +469,12 @@ func New(nc NetworkConfig, cfg proto.Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{net: net, prot: p, nb: nb, dsdv: dsdv, cfg: p.Config(), q: eventq.New()}
+	if nc.DirtyMaintenance {
+		e.dirtyMode = true
+		e.oracle = nb.(*neighborhood.Oracle) // fill() pinned Proactive == OracleView
+		e.dirtyAcc = bitset.New(nc.Nodes)
+		e.dirtyStamp = make([]uint64, nc.Nodes)
+	}
 	e.scheduleMaintenance()
 	return e, nil
 }
@@ -462,6 +505,9 @@ func (e *Engine) maintainTick(now float64) {
 // flips in id order, then up flips — is deterministic.
 func (e *Engine) refresh(t float64) {
 	e.net.RefreshAt(t)
+	if e.dirtyMode {
+		e.noteTopologyChanges()
+	}
 	if e.net.HasChurn() {
 		e.prot.ExpireNodes(e.net.ChurnedDown())
 		for _, v := range e.net.ChurnedUp() {

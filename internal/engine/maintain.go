@@ -65,10 +65,24 @@ func (e *Engine) workerMaintainers(workers int) []*proto.Maintainer {
 	return e.maintPool[:workers]
 }
 
-// maintainRound runs one network-wide maintenance round, sharded across
-// the worker pool (or serially when the bound says so).
+// maintainRound runs one maintenance round, sharded across the worker
+// pool (or serially when the bound says so). Under DirtyMaintenance the
+// round is restricted to the dirty list (see dirty.go), which it
+// consumes; otherwise it covers every node.
 func (e *Engine) maintainRound(now float64) {
 	n := e.net.N()
+	if e.dirtyMode && !e.dirtyAll {
+		list := e.dirtyRoundList()
+		e.lastRound = len(list)
+		e.maintainList(list, now)
+		e.dirtyAcc.Clear()
+		return
+	}
+	e.lastRound = n
+	if e.dirtyMode {
+		e.dirtyAll = false
+		e.dirtyAcc.Clear()
+	}
 	workers := e.roundWorkers(n)
 	if workers <= 1 {
 		e.prot.MaintainAll(now)
@@ -83,10 +97,37 @@ func (e *Engine) maintainRound(now float64) {
 	flushAll(ms)
 }
 
-// selectRound runs one network-wide selection round, sharded like
-// maintainRound, and returns the number of contacts added.
+// maintainList runs one maintenance round over just the listed nodes
+// (ascending ids), sharded like a full round and bit-identical to the
+// serial proto.MaintainSet loop.
+func (e *Engine) maintainList(list []NodeID, now float64) {
+	workers := e.roundWorkers(len(list))
+	if workers <= 1 {
+		e.prot.MaintainSet(list, now)
+		return
+	}
+	e.warmProvider()
+	round := e.prot.NextRound()
+	ms := e.workerMaintainers(workers)
+	par.WorkersN(workers, len(list), func(worker, i int) {
+		ms[worker].MaintainNode(list[i], now, round)
+	})
+	flushAll(ms)
+}
+
+// selectRound runs one selection round, sharded like maintainRound, and
+// returns the number of contacts added. Under DirtyMaintenance it reads
+// the dirty list without consuming it — only a maintenance round clears
+// the accumulator (selection is the lighter half of the round pair and
+// may be invoked out of schedule, e.g. the t=0 warm-up).
 func (e *Engine) selectRound(now float64) int {
 	n := e.net.N()
+	if e.dirtyMode && !e.dirtyAll {
+		list := e.dirtyRoundList()
+		e.lastRound = len(list)
+		return e.selectList(list, now)
+	}
+	e.lastRound = n
 	workers := e.roundWorkers(n)
 	if workers <= 1 {
 		return e.prot.SelectAll(now)
@@ -97,6 +138,28 @@ func (e *Engine) selectRound(now float64) int {
 	added := make([]int, n)
 	par.WorkersN(workers, n, func(worker, i int) {
 		added[i] = ms[worker].SelectNode(NodeID(i), now, round)
+	})
+	flushAll(ms)
+	total := 0
+	for _, a := range added {
+		total += a
+	}
+	return total
+}
+
+// selectList runs one selection round over just the listed nodes
+// (ascending ids), sharded like a full round.
+func (e *Engine) selectList(list []NodeID, now float64) int {
+	workers := e.roundWorkers(len(list))
+	if workers <= 1 {
+		return e.prot.SelectSet(list, now)
+	}
+	e.warmProvider()
+	round := e.prot.NextRound()
+	ms := e.workerMaintainers(workers)
+	added := make([]int, len(list))
+	par.WorkersN(workers, len(list), func(worker, i int) {
+		added[i] = ms[worker].SelectNode(list[i], now, round)
 	})
 	flushAll(ms)
 	total := 0

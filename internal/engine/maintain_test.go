@@ -38,7 +38,7 @@ func runMaintTrace(t *testing.T, proactive ProactiveKind, workers, procs int) ma
 	s.tables = make([][]proto.Contact, e.Nodes())
 	for u := 0; u < e.Nodes(); u++ {
 		for _, c := range p.Table(NodeID(u)).Contacts() {
-			cp := *c
+			cp := c
 			cp.Path = append([]NodeID(nil), c.Path...)
 			s.tables[u] = append(s.tables[u], cp)
 		}

@@ -134,6 +134,24 @@ var builtinPresets = []Preset{
 		Horizon:  30,
 	},
 	{
+		// Density-matched to the 10k preset (~5.7e-4 nodes/m²) at 10× the
+		// population: the scale target for dirty-set maintenance. Long
+		// pauses keep per-refresh adjacency diffs sparse, so restricted
+		// rounds touch a small fraction of the field; the flat-slab state
+		// keeps the 100k-node footprint cache-friendly. DirtyMaintenance is
+		// on by default — this is the first preset where full rounds are
+		// the wrong trade.
+		Name:        "citywide-rwp-100k",
+		Description: "100000 vehicles over 13300x13300 m, 100 m radio — dirty-set maintenance at scale",
+		Net: NetworkConfig{
+			Nodes: 100000, Width: 13300, Height: 13300, TxRange: 100,
+			Mobility: RandomWaypoint, MinSpeed: 1, MaxSpeed: 19, Pause: 60, Seed: 1,
+			DirtyMaintenance: true,
+		},
+		Protocol: proto.Config{R: 2, MaxContactDist: 10, NoC: 8, Depth: 3, ValidatePeriod: 2},
+		Horizon:  30,
+	},
+	{
 		// The 5k regime under Gauss–Markov: smooth correlated trajectories
 		// keep links alive longer than RWP's sharp turns, so contact paths
 		// decay gradually instead of snapping — the favorable-mobility

@@ -287,3 +287,77 @@ func BenchmarkScheduleAndDrain(b *testing.B) {
 		q.Drain()
 	}
 }
+
+// TestStressLargeHeap is the large-N regression for the heap: schedule
+// hundreds of thousands of events in adversarial (reverse-sorted, then
+// random, then heavily duplicated) timestamp order, interleave cancels and
+// reschedules while draining, and check global time order plus stable FIFO
+// among every run of equal timestamps. A 100k-node engine hangs this much
+// state off one queue (maintenance boundaries, workload ticks, probes), so
+// the heap must neither corrupt its order invariant under growth and
+// shrinkage nor lose the seq tie-break at scale.
+func TestStressLargeHeap(t *testing.T) {
+	const n = 200_000
+	rng := xrand.New(42)
+	q := New()
+	type firing struct {
+		at  float64
+		seq int // scheduling order among events sharing a timestamp
+	}
+	var fired []firing
+	seqAt := make(map[float64]int)
+	schedule := func(at float64) {
+		seq := seqAt[at]
+		seqAt[at]++
+		q.At(at, func(now float64) {
+			if now != at {
+				t.Fatalf("event scheduled for %v fired at %v", at, now)
+			}
+			fired = append(fired, firing{at, seq})
+		})
+	}
+	// Phase 1: reverse-sorted arrivals (worst case for naive insertion),
+	// quantized so equal timestamps are common.
+	for i := n / 2; i > 0; i-- {
+		schedule(float64(i%1024) + 1)
+	}
+	// Phase 2: random arrivals over the same quantized range.
+	for i := 0; i < n/2; i++ {
+		schedule(float64(rng.Intn(1024)) + 1)
+	}
+	if q.Len() != n {
+		t.Fatalf("queue holds %d events, want %d", q.Len(), n)
+	}
+	// Cancel a pseudo-random tenth and replace each with a later event, so
+	// the heap shrinks and regrows while holding hundreds of thousands of
+	// entries. Cancelled ids must not fire; replacements must.
+	cancelled := 0
+	for i := 0; i < n/10; i++ {
+		h := q.At(float64(rng.Intn(1024))+1, func(float64) {
+			t.Fatal("cancelled event fired")
+		})
+		if !h.Cancel() {
+			t.Fatal("cancel of pending event failed")
+		}
+		cancelled++
+		schedule(2000 + float64(i%64))
+	}
+	total := q.Drain()
+	if want := n + n/10; total != want || len(fired) != want {
+		t.Fatalf("drained %d events (recorded %d), want %d (cancelled %d never fire)",
+			total, len(fired), want, cancelled)
+	}
+	for i := 1; i < len(fired); i++ {
+		a, b := fired[i-1], fired[i]
+		if b.at < a.at {
+			t.Fatalf("firing %d out of time order: %v after %v", i, b.at, a.at)
+		}
+		if b.at == a.at && b.seq != a.seq+1 {
+			t.Fatalf("equal-time FIFO broken at firing %d: seq %d after %d at t=%v",
+				i, b.seq, a.seq, b.at)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after drain: %d", q.Len())
+	}
+}

@@ -272,6 +272,20 @@ func (n *Network) ChurnedDown() []NodeID { return n.wentDown }
 // slice is valid until the next refresh; do not mutate or retain it.
 func (n *Network) ChurnedUp() []NodeID { return n.cameUp }
 
+// AdjacencyChanged reports which nodes' adjacency lists differ from the
+// previous snapshot after the most recent refresh. all=true means the
+// refresh rebuilt everything (non-incremental topology modes, the first
+// build, or a mass-movement fallback) and every node must be treated as
+// changed; the list is then empty. Otherwise the list is exact and
+// duplicate-free (see topology.Builder.Changed) and valid until the next
+// refresh. The engine's dirty-set maintenance is the intended consumer.
+func (n *Network) AdjacencyChanged() (changed []NodeID, all bool) {
+	if n.builder == nil {
+		return nil, true
+	}
+	return n.builder.Changed()
+}
+
 // Adjacent reports whether u and v currently share a link.
 func (n *Network) Adjacent(u, v NodeID) bool { return n.graph.Adjacent(u, v) }
 

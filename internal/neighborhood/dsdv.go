@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"card/internal/bitset"
 	"card/internal/eventq"
 	"card/internal/manet"
 	"card/internal/par"
@@ -74,10 +73,11 @@ type DSDV struct {
 	neighbors []map[NodeID]struct{} // last observed neighbor sets
 
 	// Per-node caches for the Provider facade, invalidated on any table
-	// mutation of the owning node.
-	dirty []bool
-	sets  []*bitset.Set
-	edges [][]NodeID
+	// mutation of the owning node: sorted member lists plus the R-hop edge
+	// subset, matching the Provider contract.
+	dirty   []bool
+	members [][]NodeID
+	edges   [][]NodeID
 }
 
 // NewDSDV creates the protocol instance over net with radius r. Call Start
@@ -99,7 +99,7 @@ func NewDSDV(net *manet.Network, r int, cfg DSDVConfig) (*DSDV, error) {
 		ownSeq:    make([]uint32, n),
 		neighbors: make([]map[NodeID]struct{}, n),
 		dirty:     make([]bool, n),
-		sets:      make([]*bitset.Set, n),
+		members:   make([][]NodeID, n),
 		edges:     make([][]NodeID, n),
 	}
 	for i := 0; i < n; i++ {
@@ -318,27 +318,28 @@ func (d *DSDV) refreshCache(u NodeID) {
 	if !d.dirty[u] {
 		return
 	}
-	set := bitset.New(d.net.N())
-	var edges []NodeID
+	members := d.members[u][:0]
+	edges := d.edges[u][:0]
 	for dst, e := range d.tables[u] {
 		if !d.entryLive(e) {
 			continue
 		}
-		set.Add(int(dst))
+		members = append(members, dst)
 		if int(e.metric) == d.r {
 			edges = append(edges, dst)
 		}
 	}
+	sort.Slice(members, func(a, b int) bool { return members[a] < members[b] })
 	sort.Slice(edges, func(a, b int) bool { return edges[a] < edges[b] })
-	d.sets[u] = set
+	d.members[u] = members
 	d.edges[u] = edges
 	d.dirty[u] = false
 }
 
-// Set implements Provider.
-func (d *DSDV) Set(u NodeID) *bitset.Set {
+// Members implements Provider.
+func (d *DSDV) Members(u NodeID) []NodeID {
 	d.refreshCache(u)
-	return d.sets[u]
+	return d.members[u]
 }
 
 // Contains implements Provider.

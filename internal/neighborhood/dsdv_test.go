@@ -42,7 +42,7 @@ func TestDSDVInitialSelfRoute(t *testing.T) {
 		if !d.Contains(u, u) || d.Dist(u, u) != 0 {
 			t.Errorf("node %d missing self route", u)
 		}
-		if d.Set(u).Count() != 1 {
+		if len(d.Members(u)) != 1 {
 			t.Errorf("node %d knows more than itself before any dump", u)
 		}
 	}
@@ -57,8 +57,8 @@ func TestDSDVConvergesToOracleOnPath(t *testing.T) {
 	}
 	o := NewOracle(net, 3)
 	for u := NodeID(0); u < 10; u++ {
-		if !d.Set(u).Equal(o.Set(u)) {
-			t.Errorf("node %d: dsdv %v != oracle %v", u, d.Set(u), o.Set(u))
+		if !sameMembers(d.Members(u), o.Members(u)) {
+			t.Errorf("node %d: dsdv %v != oracle %v", u, d.Members(u), o.Members(u))
 		}
 		for x := NodeID(0); x < 10; x++ {
 			if d.Dist(u, x) != o.Dist(u, x) {
@@ -74,8 +74,8 @@ func TestDSDVConvergesToOracleOnRandomNet(t *testing.T) {
 	d.Converge(0, 30)
 	o := NewOracle(net, 3)
 	for u := NodeID(0); int(u) < net.N(); u += 7 {
-		if !d.Set(u).Equal(o.Set(u)) {
-			t.Fatalf("node %d neighborhood mismatch:\n dsdv %v\n orac %v", u, d.Set(u), o.Set(u))
+		if !sameMembers(d.Members(u), o.Members(u)) {
+			t.Fatalf("node %d neighborhood mismatch:\n dsdv %v\n orac %v", u, d.Members(u), o.Members(u))
 		}
 		for _, e := range d.EdgeNodes(u) {
 			if o.Dist(u, e) != 3 {
@@ -93,8 +93,8 @@ func TestDSDVRoutesAreUsable(t *testing.T) {
 	rng := xrand.New(5)
 	for probe := 0; probe < 40; probe++ {
 		u := NodeID(rng.Intn(net.N()))
-		members := d.Set(u).Slice()
-		x := NodeID(members[rng.Intn(len(members))])
+		members := d.Members(u)
+		x := members[rng.Intn(len(members))]
 		route := d.Route(u, x)
 		if route == nil {
 			t.Fatalf("no route %d->%d despite membership", u, x)
@@ -132,8 +132,8 @@ func TestDSDVScopeLimit(t *testing.T) {
 	if d.Contains(0, 4) {
 		t.Error("scope leak: node 0 learned a node beyond R hops")
 	}
-	if d.Set(0).Count() != 4 {
-		t.Errorf("node 0 neighborhood = %v", d.Set(0))
+	if len(d.Members(0)) != 4 {
+		t.Errorf("node 0 neighborhood = %v", d.Members(0))
 	}
 }
 
@@ -205,9 +205,9 @@ func TestDSDVStartOnEventQueue(t *testing.T) {
 	q.RunUntil(10) // ten periods of staggered dumps
 	o := NewOracle(net, 3)
 	for u := NodeID(0); u < 8; u++ {
-		if !d.Set(u).Equal(o.Set(u)) {
+		if !sameMembers(d.Members(u), o.Members(u)) {
 			t.Fatalf("event-driven DSDV did not converge at node %d: %v vs %v",
-				u, d.Set(u), o.Set(u))
+				u, d.Members(u), o.Members(u))
 		}
 	}
 	if net.Totals().Get(manet.CatDSDV) == 0 {
@@ -225,6 +225,37 @@ func TestDSDVRouteDuringNonConvergenceIsNilNotWrong(t *testing.T) {
 	if r := d.Route(2, 2); len(r) != 1 || r[0] != 2 {
 		t.Errorf("self route = %v", r)
 	}
+}
+
+// sameMembers reports whether two sorted member lists are identical.
+func sameMembers(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// intersectionCount merges two sorted member lists, counting common ids.
+func intersectionCount(a, b []NodeID) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
 }
 
 func TestSeqNewer(t *testing.T) {
@@ -260,9 +291,9 @@ func TestDSDVMobileChurnKeepsViewsFresh(t *testing.T) {
 	o := NewOracle(net, 2)
 	agree, total := 0, 0
 	for u := NodeID(0); int(u) < net.N(); u++ {
-		ds, os := d.Set(u), o.Set(u)
-		total += os.Count()
-		agree += ds.IntersectionCount(os)
+		ds, os := d.Members(u), o.Members(u)
+		total += len(os)
+		agree += intersectionCount(ds, os)
 	}
 	frac := float64(agree) / float64(total)
 	if frac < 0.85 {

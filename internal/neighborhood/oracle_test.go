@@ -43,10 +43,10 @@ func TestOracleNeighborhoodOnPath(t *testing.T) {
 	if o.R() != 3 {
 		t.Fatalf("R = %d", o.R())
 	}
-	set := o.Set(0)
+	members := o.Members(0)
 	// Node 0's 3-hop neighborhood on a path: {0,1,2,3}.
-	if got := set.Count(); got != 4 {
-		t.Fatalf("neighborhood size = %d, want 4 (%v)", got, set)
+	if got := len(members); got != 4 {
+		t.Fatalf("neighborhood size = %d, want 4 (%v)", got, members)
 	}
 	for x := 0; x <= 3; x++ {
 		if !o.Contains(0, NodeID(x)) {
@@ -145,12 +145,12 @@ func TestOracleCacheInvalidationOnRefresh(t *testing.T) {
 	}
 	net := manet.New(m, 15, xrand.New(6))
 	o := NewOracle(net, 2)
-	before := o.Set(0).Count()
+	before := len(o.Members(0))
 	// Walk them for a while; with 50 m/s in a 1000 m corridor they will
 	// separate beyond 15 m at some refresh.
 	for i := 1; i <= 50; i++ {
 		net.RefreshAt(float64(i))
-		if o.Set(0).Count() != before {
+		if len(o.Members(0)) != before {
 			return // cache refreshed and view changed: success
 		}
 	}
@@ -178,8 +178,8 @@ func TestQuickOracleRoutesAreValidPaths(t *testing.T) {
 		g := net.Graph()
 		for probe := 0; probe < 20; probe++ {
 			u := NodeID(rng.Intn(g.N()))
-			members := o.Set(u).Slice()
-			x := NodeID(members[rng.Intn(len(members))])
+			members := o.Members(u)
+			x := members[rng.Intn(len(members))]
 			route := o.Route(u, x)
 			if route == nil || route[0] != u || route[len(route)-1] != x {
 				return false

@@ -17,7 +17,6 @@
 package neighborhood
 
 import (
-	"card/internal/bitset"
 	"card/internal/topology"
 )
 
@@ -31,10 +30,13 @@ type NodeID = topology.NodeID
 type Provider interface {
 	// R returns the neighborhood radius in hops.
 	R() int
-	// Set returns the membership bit set of u's neighborhood. The returned
-	// set is owned by the provider and valid until the next topology
-	// refresh; callers must not mutate it.
-	Set(u NodeID) *bitset.Set
+	// Members returns the nodes of u's neighborhood (u included), sorted
+	// ascending by id. The slice is owned by the provider and valid until
+	// the next topology refresh or substrate round; callers must not
+	// mutate it. Membership is O(ball), never O(N): at 100k nodes a view
+	// is a few hundred entries, which is why the interface trades the old
+	// N-bit set for a dense sorted list.
+	Members(u NodeID) []NodeID
 	// Contains reports whether x lies in u's neighborhood.
 	Contains(u, x NodeID) bool
 	// Dist returns the hop distance from u to x if x is in u's
@@ -60,7 +62,20 @@ type Warmer interface {
 
 // Overlaps reports whether the neighborhoods of a and b intersect — the
 // paper's overlap predicate between a candidate contact and the source (or
-// a previously selected contact).
+// a previously selected contact). The sorted member lists are merged
+// directly, O(|ball(a)|+|ball(b)|), independent of network size.
 func Overlaps(p Provider, a, b NodeID) bool {
-	return p.Set(a).Intersects(p.Set(b))
+	x, y := p.Members(a), p.Members(b)
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] < y[j]:
+			i++
+		case x[i] > y[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
 }

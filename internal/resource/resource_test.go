@@ -99,11 +99,11 @@ func TestDiscoverNeighborhoodHolderIsFree(t *testing.T) {
 	p := testProtocol(t, net)
 	nb := p.Neighborhood()
 	src := NodeID(0)
-	members := nb.Set(src).Slice()
+	members := nb.Members(src)
 	if len(members) < 2 {
 		t.Skip("isolated source")
 	}
-	holder := NodeID(members[len(members)-1])
+	holder := members[len(members)-1]
 	d := NewDirectory(200)
 	d.Place(7, holder)
 	r := DiscoverCARD(p, d, src, 7)
@@ -120,13 +120,12 @@ func TestDiscoverPicksNearestNeighborhoodHolder(t *testing.T) {
 	p := testProtocol(t, net)
 	nb := p.Neighborhood()
 	src := NodeID(0)
-	members := nb.Set(src).Slice()
+	members := nb.Members(src)
 	if len(members) < 3 {
 		t.Skip("source neighborhood too small")
 	}
 	var near, far NodeID = -1, -1
-	for _, m := range members {
-		mm := NodeID(m)
+	for _, mm := range members {
 		if mm == src {
 			continue
 		}

@@ -59,21 +59,26 @@ func (er EngineRunner) Run(cfg proto.Config, _ []float64, pointIdx int, seed uin
 	if er.Queries > 0 {
 		pairs := e.RandomPairs(er.Queries, nc.Seed^pairSalt)
 		res := e.BatchQuery(pairs)
-		msgs := make([]float64, len(res))
-		hops := make([]float64, 0, len(res))
-		found := 0
-		for i, r := range res {
-			msgs[i] = float64(r.Messages)
-			if r.Found {
-				found++
-				hops = append(hops, float64(r.PathHops))
-			}
-		}
 		if len(res) > 0 {
+			// Stream the per-query records through windows sized to the
+			// batch: every sample is held, so the summaries are identical
+			// to sorting a retained slice, but the cell's footprint is
+			// bounded by its own query budget — the shape large sweeps
+			// (many cells × many queries) rely on.
+			winMsgs := stats.NewWindow(len(res))
+			winHops := stats.NewWindow(len(res))
+			found := 0
+			for _, r := range res {
+				winMsgs.Add(float64(r.Messages))
+				if r.Found {
+					found++
+					winHops.Add(float64(r.PathHops))
+				}
+			}
 			out.Success = 100 * float64(found) / float64(len(res))
+			out.Msgs = winMsgs.Summary()
+			out.Hops = winHops.Summary()
 		}
-		out.Msgs = stats.Summarize(msgs)
-		out.Hops = stats.Summarize(hops)
 	}
 	return out, nil
 }

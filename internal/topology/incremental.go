@@ -80,6 +80,15 @@ type Builder struct {
 	movedStamp []uint64
 	moved      []NodeID
 	newAdj     []NodeID
+
+	// Changed-adjacency tracking for dirty-set consumers (engine
+	// maintenance rounds, oracle view retention): after each update,
+	// changed lists the nodes whose adjacency list differs from the
+	// previous snapshot, unless changedAll marks a full (re)build where
+	// every node must be assumed changed. See Changed.
+	changedStamp []uint64
+	changed      []NodeID
+	changedAll   bool
 }
 
 // fullRebuildFraction is the moved-node fraction above which an update
@@ -96,13 +105,14 @@ func NewBuilder(n int, area geom.Rect, txRange float64) *Builder {
 		panic("topology: non-positive transmission range")
 	}
 	return &Builder{
-		area:       area,
-		txRange:    txRange,
-		grid:       geom.NewGrid(area, txRange),
-		pos:        make([]geom.Point, n),
-		adj:        make([][]NodeID, n),
-		down:       make([]bool, n),
-		movedStamp: make([]uint64, n),
+		area:         area,
+		txRange:      txRange,
+		grid:         geom.NewGrid(area, txRange),
+		pos:          make([]geom.Point, n),
+		adj:          make([][]NodeID, n),
+		down:         make([]bool, n),
+		movedStamp:   make([]uint64, n),
+		changedStamp: make([]uint64, n),
 	}
 }
 
@@ -128,6 +138,7 @@ func (b *Builder) UpdateMasked(pos []geom.Point, down []bool) *Graph {
 	if down != nil && len(down) != len(b.pos) {
 		panic("topology: Builder.Update with mismatched mask length")
 	}
+	b.changed, b.changedAll = b.changed[:0], false
 	if !b.built {
 		b.fullBuild(pos, down)
 		b.built = true
@@ -183,6 +194,7 @@ func (b *Builder) fullBuild(pos []geom.Point, down []bool) {
 		b.adj[u] = adj
 	}
 	b.recountLinks()
+	b.changedAll = true
 }
 
 // incremental applies a subset-dirty update: re-bucket the moved (and
@@ -241,17 +253,20 @@ func (b *Builder) incremental(pos []geom.Point, down []bool) {
 		if slices.Equal(old, newAdj) {
 			continue // displacement too small to change any edge: no patching
 		}
+		b.markChanged(m, gen)
 		i, j := 0, 0
 		for i < len(old) || j < len(newAdj) {
 			switch {
 			case j == len(newAdj) || (i < len(old) && old[i] < newAdj[j]):
 				if v := old[i]; b.movedStamp[v] != gen {
 					b.adj[v] = removeSorted(b.adj[v], m)
+					b.markChanged(v, gen)
 				}
 				i++
 			case i == len(old) || old[i] > newAdj[j]:
 				if v := newAdj[j]; b.movedStamp[v] != gen {
 					b.adj[v] = insertSorted(b.adj[v], m)
+					b.markChanged(v, gen)
 				}
 				j++
 			default: // edge unchanged
@@ -262,6 +277,27 @@ func (b *Builder) incremental(pos []geom.Point, down []bool) {
 		b.adj[m] = append(old[:0], newAdj...)
 	}
 	b.recountLinks()
+}
+
+// markChanged records v in the changed-adjacency list of the update in
+// progress, deduplicating via the shared generation stamp.
+func (b *Builder) markChanged(v NodeID, gen uint64) {
+	if b.changedStamp[v] != gen {
+		b.changedStamp[v] = gen
+		b.changed = append(b.changed, v)
+	}
+}
+
+// Changed reports which nodes' adjacency lists differ from the previous
+// snapshot after the most recent Update. all=true means the update was a
+// full (re)build — the first build, or the moved fraction exceeding the
+// incremental threshold — and every node must be treated as changed (the
+// list is then empty). Otherwise the list is exact and duplicate-free,
+// in no particular order: a node not listed has a byte-identical
+// adjacency list to the previous snapshot. The slice aliases builder
+// scratch and is valid until the next Update.
+func (b *Builder) Changed() (changed []NodeID, all bool) {
+	return b.changed, b.changedAll
 }
 
 // insertSorted adds x to the sorted slice a, keeping it sorted.

@@ -110,11 +110,13 @@ func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
 // Links returns the number of undirected links.
 func (g *Graph) Links() int { return g.links }
 
-// Adjacent reports whether u and v share a link. O(log degree).
+// Adjacent reports whether u and v share a link. O(log degree), via a
+// closure-free binary search over the sorted adjacency list — this is the
+// innermost probe of path validation, query walks and the clustering
+// census, so it must not allocate or indirect through a func value.
 func (g *Graph) Adjacent(u, v NodeID) bool {
-	a := g.adj[u]
-	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
-	return i < len(a) && a[i] == v
+	_, ok := slices.BinarySearch(g.adj[u], v)
+	return ok
 }
 
 // BFSResult holds hop distances and a shortest-path tree rooted at Source.
@@ -241,28 +243,57 @@ type Census struct {
 	MeanClustering float64
 }
 
-// ComputeCensus runs all-pairs BFS and summarizes connectivity. Pairs in
+// censusSourceCap bounds the number of BFS sources ComputeCensus uses
+// for Diameter/AvgHops. All paper scenarios (N <= 2000) sit below the
+// cap and get the exact all-pairs values; above it sources are sampled
+// at a fixed stride, since exact all-pairs BFS is O(N·(N+E)) — tens of
+// minutes at 100k nodes for two summary statistics.
+const censusSourceCap = 2048
+
+// ComputeCensus runs per-source BFS and summarizes connectivity. Pairs in
 // different components are excluded from Diameter/AvgHops, matching how a
 // partitioned scenario can legitimately report diameter smaller than a
-// denser one (cf. Table 1 scenario 3).
+// denser one (cf. Table 1 scenario 3). Up to censusSourceCap nodes every
+// node is a source (exact all-pairs figures); beyond that, sources are an
+// evenly-spaced deterministic sample, making Diameter a lower bound and
+// AvgHops an estimate. Links, MeanDegree, LargestComponentFrac and
+// MeanClustering are exact at every size.
 func (g *Graph) ComputeCensus() Census {
 	n := g.N()
 	c := Census{N: n, Links: g.links}
 	if n > 0 {
 		c.MeanDegree = 2 * float64(g.links) / float64(n)
 	}
+	stride := 1
+	if n > censusSourceCap {
+		stride = (n + censusSourceCap - 1) / censusSourceCap
+	}
+	// One distance array reused across sources: the per-source BFSResult
+	// (Dist+Parent+Visited, ~2.4 MB each at 100k) was most of the census
+	// cost at scale.
+	dist := make([]int32, n)
+	queue := make([]NodeID, 0, n)
 	var sumHops, pairs float64
-	for i := 0; i < n; i++ {
-		res := g.BFS(NodeID(i))
-		for _, v := range res.Visited {
-			d := int(res.Dist[v])
-			if d == 0 {
-				continue
-			}
-			sumHops += float64(d)
-			pairs++
-			if d > c.Diameter {
-				c.Diameter = d
+	for src := 0; src < n; src += stride {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue = append(queue[:0], NodeID(src))
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			d := dist[u] + 1
+			for _, v := range g.adj[u] {
+				if dist[v] >= 0 {
+					continue
+				}
+				dist[v] = d
+				queue = append(queue, v)
+				sumHops += float64(d)
+				pairs++
+				if int(d) > c.Diameter {
+					c.Diameter = int(d)
+				}
 			}
 		}
 	}
@@ -288,17 +319,36 @@ func (g *Graph) meanClustering() float64 {
 		if k < 2 {
 			continue
 		}
-		closed := 0
-		for i := 0; i < k; i++ {
-			for j := i + 1; j < k; j++ {
-				if g.Adjacent(adj[i], adj[j]) {
-					closed++
-				}
-			}
+		// Count closed neighbor pairs by intersecting u's sorted adjacency
+		// with each neighbor's: Σ_v |adj(u) ∩ adj(v)| visits every closed
+		// pair {a,b} twice (once from v=a, once from v=b). The sorted merge
+		// is O(deg(u)+deg(v)) per neighbor, replacing the O(deg²·log deg)
+		// pairwise Adjacent probes that dominated the census at high density.
+		twiceClosed := 0
+		for _, v := range adj {
+			twiceClosed += sortedIntersectionCount(adj, g.adj[v])
 		}
-		sum += 2 * float64(closed) / float64(k*(k-1))
+		sum += float64(twiceClosed) / float64(k*(k-1))
 	}
 	return sum / float64(n)
+}
+
+// sortedIntersectionCount returns |a ∩ b| for sorted slices a and b.
+func sortedIntersectionCount(a, b []NodeID) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
 }
 
 func (c Census) String() string {

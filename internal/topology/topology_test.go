@@ -198,6 +198,28 @@ func TestCensusTriangleClustering(t *testing.T) {
 	}
 }
 
+func TestCensusSampledAboveSourceCap(t *testing.T) {
+	// Above censusSourceCap the Diameter/AvgHops pass samples sources at a
+	// fixed stride. On a path graph node 0 is always sampled (stride
+	// starts at 0) and reaches the far end, so even the sampled census
+	// recovers the exact diameter; the structural fields stay exact.
+	n := censusSourceCap*2 + 100
+	g := lineGraph(n)
+	c := g.ComputeCensus()
+	if c.Links != n-1 {
+		t.Errorf("Links = %d, want %d", c.Links, n-1)
+	}
+	if c.Diameter != n-1 {
+		t.Errorf("Diameter = %d, want %d", c.Diameter, n-1)
+	}
+	if c.AvgHops <= 0 {
+		t.Errorf("AvgHops = %v, want > 0", c.AvgHops)
+	}
+	if c.LargestComponentFrac != 1 {
+		t.Errorf("LCC = %v, want 1", c.LargestComponentFrac)
+	}
+}
+
 func TestCensusEmptyAndSingleton(t *testing.T) {
 	g := Build(nil, geom.Rect{W: 10, H: 10}, 5)
 	c := g.ComputeCensus()

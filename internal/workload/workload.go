@@ -191,9 +191,15 @@ type Report struct {
 	// SuccessPct is 100·Found/Queries (0 when no queries arrived).
 	SuccessPct float64
 	// Messages summarizes per-query control messages over the executed
-	// stream (SrcDown arrivals excluded: they sent nothing).
+	// stream (SrcDown arrivals excluded: they sent nothing). N, Mean and
+	// Max are exact over the whole stream (Welford, O(1) memory); the
+	// quantiles are over the trailing Config.Window samples — the run
+	// never retains the full per-query record, so a 100k-node,
+	// million-query stream costs O(Window) memory, not O(queries).
 	Messages stats.Summary
-	// Hops summarizes route lengths over successful queries.
+	// Hops summarizes route lengths over successful queries, with the
+	// same streamed semantics as Messages (exact N/Mean/Max, trailing
+	// quantiles).
 	Hops stats.Summary
 	// WindowMessages / WindowSuccessPct are the trailing sliding-window
 	// view at stream end: the last Config.Window executed (respectively
@@ -242,9 +248,13 @@ func Run(d Driver, cfg Config) (*Report, error) {
 	zipf := xrand.NewZipf(cfg.Resources, cfg.ZipfS)
 
 	rep := &Report{Scheme: cfg.Scheme, Config: cfg, Horizon: cfg.Duration}
+	// Streamed aggregation: Welford accumulators carry the exact
+	// whole-stream N/Mean/Max, the windows carry the trailing samples the
+	// quantiles are read from. Nothing here grows with the query count.
 	winMsgs := stats.NewWindow(cfg.Window)
+	winHops := stats.NewWindow(cfg.Window)
 	winOK := stats.NewWindow(cfg.Window)
-	var allMsgs, allHops []float64
+	var aggMsgs, aggHops stats.Welford
 
 	prot, net := d.Protocol(), d.Network()
 	limit := cfg.Workers
@@ -287,12 +297,13 @@ func Run(d Driver, cfg Config) (*Report, error) {
 			if o.Found {
 				rep.Found++
 				ok = 1
-				allHops = append(allHops, float64(o.Hops))
+				aggHops.Add(float64(o.Hops))
+				winHops.Add(float64(o.Hops))
 			}
 			if o.SrcDown {
 				rep.SrcDown++
 			} else {
-				allMsgs = append(allMsgs, float64(o.Messages))
+				aggMsgs.Add(float64(o.Messages))
 				winMsgs.Add(float64(o.Messages))
 			}
 			winOK.Add(ok)
@@ -305,13 +316,33 @@ func Run(d Driver, cfg Config) (*Report, error) {
 	if rep.Queries > 0 {
 		rep.SuccessPct = 100 * float64(rep.Found) / float64(rep.Queries)
 	}
-	rep.Messages = stats.Summarize(allMsgs)
-	rep.Hops = stats.Summarize(allHops)
+	rep.Messages = streamSummary(&aggMsgs, winMsgs)
+	rep.Hops = streamSummary(&aggHops, winHops)
 	rep.WindowMessages = winMsgs.Summary()
 	if winOK.Len() > 0 {
 		rep.WindowSuccessPct = 100 * winOK.Mean()
 	}
 	return rep, nil
+}
+
+// streamSummary combines a whole-stream Welford accumulator with the
+// trailing window: exact N/Mean/Max, windowed P50/P95/P99 (see the
+// Report.Messages doc). The quantiles stay monotone against the exact
+// Max — the window is a subset of the stream, so its order statistics
+// cannot exceed the stream maximum.
+func streamSummary(agg *stats.Welford, win *stats.Window) stats.Summary {
+	if agg.N() == 0 {
+		return stats.Summary{}
+	}
+	w := win.Summary()
+	return stats.Summary{
+		N:    agg.N(),
+		Mean: agg.Mean(),
+		P50:  w.P50,
+		P95:  w.P95,
+		P99:  w.P99,
+		Max:  agg.Max(),
+	}
 }
 
 // runTick executes one tick's arrivals against the current snapshot,
