@@ -1,0 +1,143 @@
+// Command benchjson converts `go test -bench` output into the BENCH_*.json
+// records CI uploads as artifacts. It replaces the former awk one-liners,
+// which silently mis-indexed fields whenever a benchmark line carried
+// extra metrics (-benchmem, b.ReportMetric) and could not be unit-tested.
+//
+// Usage:
+//
+//	go test -bench . | benchjson -o BENCH_1.json
+//	benchjson -o BENCH_6.json bench6.out
+//
+// Input is one or more bench output files (stdin when none are given);
+// output is a JSON array with one record per benchmark result line:
+//
+//	{"name": "BenchmarkScale1k-8", "iterations": 10, "ns_per_op": 123456}
+//
+// plus "bytes_per_op" and "allocs_per_op" when the run used -benchmem.
+// The JSON is written to -o (stdout when unset) and echoed to stdout so
+// the record stays visible in the CI log.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result. Pointer fields are omitted when the
+// metric is absent, keeping non-benchmem records at the historical
+// three-key shape.
+type Record struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// parseBench extracts benchmark result lines from go test -bench output.
+// A result line is "BenchmarkName-P  N  <value> <unit> [<value> <unit>…]";
+// headers (goos/goarch/pkg), PASS/ok trailers and b.Log output are
+// skipped. A line that starts with "Benchmark" but does not parse is an
+// error — that is exactly the malformed-line case awk passed through.
+func parseBench(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// "BenchmarkFoo" alone announces a starting benchmark under -v;
+		// only lines with an iteration count are results.
+		if len(f) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchmark line %q: bad iteration count %q", line, f[1])
+		}
+		rec := Record{Name: f[0], Iterations: iters, NsPerOp: -1}
+		for i := 2; i+1 < len(f); i += 2 {
+			val, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark line %q: bad metric value %q", line, f[i])
+			}
+			switch f[i+1] {
+			case "ns/op":
+				rec.NsPerOp = val
+			case "B/op":
+				v := val
+				rec.BytesPerOp = &v
+			case "allocs/op":
+				v := val
+				rec.AllocsPerOp = &v
+			default:
+				// Custom b.ReportMetric units (MB/s, contacts/op, …) are
+				// not part of the record shape; ignore them.
+			}
+		}
+		if rec.NsPerOp < 0 {
+			return nil, fmt.Errorf("benchmark line %q: no ns/op metric", line)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+func run(out io.Writer, outPath string, inputs []string) error {
+	var recs []Record
+	if len(inputs) == 0 {
+		rs, err := parseBench(os.Stdin)
+		if err != nil {
+			return err
+		}
+		recs = rs
+	}
+	for _, path := range inputs {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		rs, err := parseBench(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		recs = append(recs, rs...)
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no benchmark result lines in input")
+	}
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	_, err = out.Write(data)
+	return err
+}
+
+func main() {
+	outPath := flag.String("o", "", "write the JSON record to this file (as well as stdout)")
+	flag.Parse()
+	if err := run(os.Stdout, *outPath, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseCapturedOutput runs the parser over real `go test -bench`
+// output (testdata/bench.out holds a captured run of the repo's
+// BenchmarkSelectionRound, once plain and once with -benchmem).
+func TestParseCapturedOutput(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "bench.out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := parseBench(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2: %+v", len(recs), recs)
+	}
+	plain, mem := recs[0], recs[1]
+	if plain.Name != "BenchmarkSelectionRound" || plain.Iterations != 1 || plain.NsPerOp <= 0 {
+		t.Errorf("plain record mangled: %+v", plain)
+	}
+	if plain.BytesPerOp != nil || plain.AllocsPerOp != nil {
+		t.Errorf("plain record grew -benchmem fields: %+v", plain)
+	}
+	if mem.BytesPerOp == nil || mem.AllocsPerOp == nil {
+		t.Fatalf("-benchmem record lost B/op or allocs/op: %+v", mem)
+	}
+	if *mem.BytesPerOp <= 0 || *mem.AllocsPerOp <= 0 {
+		t.Errorf("-benchmem metrics not positive: %+v", mem)
+	}
+}
+
+// TestRecordShape pins the artifact JSON: non-benchmem records keep the
+// historical three keys, -benchmem records add exactly two more. The
+// BENCH_*.json consumers key on these names.
+func TestRecordShape(t *testing.T) {
+	input := "BenchmarkAdvance100k-8   \t       3\t 456789 ns/op\t 1024 B/op\t 17 allocs/op\n" +
+		"BenchmarkScale1k-8   \t      10\t 123456 ns/op\n"
+	recs, err := parseBench(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var generic []map[string]any
+	if err := json.Unmarshal(data, &generic); err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := [][]string{
+		{"name", "iterations", "ns_per_op", "bytes_per_op", "allocs_per_op"},
+		{"name", "iterations", "ns_per_op"},
+	}
+	for i, keys := range wantKeys {
+		if len(generic[i]) != len(keys) {
+			t.Errorf("record %d: got %d keys %v, want %v", i, len(generic[i]), generic[i], keys)
+		}
+		for _, k := range keys {
+			if _, ok := generic[i][k]; !ok {
+				t.Errorf("record %d: missing key %q", i, k)
+			}
+		}
+	}
+	if generic[0]["bytes_per_op"].(float64) != 1024 || generic[0]["allocs_per_op"].(float64) != 17 {
+		t.Errorf("benchmem fields mis-parsed: %v", generic[0])
+	}
+}
+
+// TestParseSkipsNoise checks headers, trailers and -v "Benchmark" name
+// announcements fall through without producing records.
+func TestParseSkipsNoise(t *testing.T) {
+	input := "goos: linux\ngoarch: amd64\nBenchmarkFoo\nBenchmarkFoo-4 \t 2\t 99 ns/op\nPASS\nok  \tcard\t0.1s\n"
+	recs, err := parseBench(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Name != "BenchmarkFoo-4" || recs[0].Iterations != 2 || recs[0].NsPerOp != 99 {
+		t.Fatalf("got %+v, want one BenchmarkFoo-4 record", recs)
+	}
+}
+
+// TestParseRejectsMangledLines pins the error path: a result line with a
+// non-numeric count or missing ns/op is a hard failure, not a silent
+// pass-through (the failure mode of the old awk emitters).
+func TestParseRejectsMangledLines(t *testing.T) {
+	for _, input := range []string{
+		"BenchmarkFoo-4 \t two\t 99 ns/op\n",
+		"BenchmarkFoo-4 \t 2\t 1024 B/op\n",
+		"BenchmarkFoo-4 \t 2\t abc ns/op\n",
+	} {
+		if _, err := parseBench(strings.NewReader(input)); err == nil {
+			t.Errorf("parseBench(%q) succeeded, want error", input)
+		}
+	}
+}
+
+// TestRunWritesFileAndStdout checks the -o path: the record lands in
+// the output file and is echoed to the writer byte-for-byte.
+func TestRunWritesFileAndStdout(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_T.json")
+	var stdout bytes.Buffer
+	if err := run(&stdout, out, []string{filepath.Join("testdata", "bench.out")}); err != nil {
+		t.Fatal(err)
+	}
+	fileData, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fileData, stdout.Bytes()) {
+		t.Error("file and stdout copies differ")
+	}
+	var recs []Record
+	if err := json.Unmarshal(fileData, &recs); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+}

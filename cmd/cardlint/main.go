@@ -1,0 +1,302 @@
+// Command cardlint runs the determinism-contract analysis suite
+// (internal/lint) over card packages.
+//
+// It speaks two protocols:
+//
+//	cardlint ./...                 # standalone: load, typecheck, analyze
+//	go vet -vettool=cardlint ./... # single-unit mode driven by the go command
+//
+// The vettool mode implements the same command-line contract as
+// golang.org/x/tools/go/analysis/unitchecker — -V=full for build
+// caching, -flags for flag discovery, and a JSON .cfg file naming one
+// compilation unit — re-implemented on the standard library because
+// this module deliberately has no external dependencies. Exit status is
+// 1 when findings are reported, 0 on a clean run.
+//
+// Analyzer selection mirrors go vet: -maprange, -purity, -gostmt,
+// -streamdiscipline. Naming any analyzer with =true runs only the named
+// set; naming with =false runs all but the named set.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"card/internal/lint"
+)
+
+// triState distinguishes unset from explicit true/false, mirroring the
+// vet flag convention for analyzer selection.
+type triState int
+
+const (
+	unset triState = iota
+	setTrue
+	setFalse
+)
+
+func (t *triState) IsBoolFlag() bool { return true }
+func (t *triState) String() string   { return "unset" }
+func (t *triState) Set(s string) error {
+	switch s {
+	case "true", "1":
+		*t = setTrue
+	case "false", "0":
+		*t = setFalse
+	default:
+		return fmt.Errorf("invalid boolean value %q", s)
+	}
+	return nil
+}
+
+// versionFlag implements the -V=full protocol "go vet" uses for build
+// caching: print "<progname> version devel … buildID=<content hash>".
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	prog, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(prog)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", prog, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cardlint: ")
+
+	selections := make(map[string]*triState, len(lint.Analyzers))
+	for _, a := range lint.Analyzers {
+		t := new(triState)
+		selections[a.Name] = t
+		flag.Var(t, a.Name, "enable only/disable the "+a.Name+" analyzer")
+	}
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	jsonOut := flag.Bool("json", false, "emit JSON output")
+	flag.Int("c", -1, "display offending line with this many lines of context (accepted for vet compatibility; ignored)")
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		return
+	}
+
+	analyzers := selectAnalyzers(selections)
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0], analyzers, *jsonOut)
+		return
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	diags, err := lint.Check(".", nil, analyzers, args...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers applies vet's selection convention.
+func selectAnalyzers(sel map[string]*triState) []*lint.Analyzer {
+	anyTrue := false
+	for _, t := range sel {
+		if *t == setTrue {
+			anyTrue = true
+		}
+	}
+	var out []*lint.Analyzer
+	for _, a := range lint.Analyzers {
+		switch *sel[a.Name] {
+		case setTrue:
+			out = append(out, a)
+		case setFalse:
+		default:
+			if !anyTrue {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// printFlags describes the tool's flags as JSON, the discovery handshake
+// "go vet" performs before forwarding user flags.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// unitConfig is the JSON compilation-unit description "go vet" hands to
+// a vettool, one package per invocation (the unitchecker Config).
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes the single compilation unit described by cfgFile and
+// exits with vet's status convention (1 when findings exist).
+func runUnit(cfgFile string, analyzers []*lint.Analyzer, jsonOut bool) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		log.Fatalf("package has no files: %s", cfg.ImportPath)
+	}
+	// The go command caches the (empty: cardlint records no facts)
+	// facts file; it must exist even on failure paths.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				os.Exit(0)
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	checkPath := cfg.ImportPath
+	if i := strings.Index(checkPath, " ["); i >= 0 {
+		checkPath = checkPath[:i] // test variant "p [p.test]" typechecks as p
+	}
+	conf := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	pkg, err := conf.Check(checkPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+
+	diags := lint.RunPackage(lint.DefaultScope, fset, files, pkg, info, cfg.ImportPath, analyzers)
+	writeVetx()
+	if cfg.VetxOnly || len(diags) == 0 {
+		os.Exit(0)
+	}
+	if jsonOut {
+		// The unitchecker JSON shape: {pkgID: {analyzer: [{posn, message}]}}.
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		tree := map[string]map[string][]jsonDiag{cfg.ID: {}}
+		for _, d := range diags {
+			tree[cfg.ID][d.Analyzer] = append(tree[cfg.ID][d.Analyzer],
+				jsonDiag{Posn: d.Pos.String(), Message: d.Message})
+		}
+		out, err := json.MarshalIndent(tree, "", "\t")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(out)
+		fmt.Println()
+		os.Exit(0)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	os.Exit(1)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

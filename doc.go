@@ -51,6 +51,15 @@
 //     worker count, aggregated into the overhead-vs-reachability Pareto
 //     frontier ([SweepResult]).
 //
+// The source side of these guarantees is enforced at compile time by
+// cardlint (internal/lint, driver cmd/cardlint), a static-analysis
+// suite CI runs as a go vet -vettool: no order-sensitive map iteration,
+// no wall-clock or global-RNG reads in sim code, goroutines and raw
+// locks only inside internal/par, and per-(item, round) xrand stream
+// discipline around the worker pool. Deliberate exceptions carry a
+// reviewed //cardlint:<key> <reason> annotation; see the "Determinism
+// contract" section of DESIGN.md.
+//
 // # Scenarios
 //
 // NetworkConfig selects the movement structure: [Static], [RandomWaypoint]

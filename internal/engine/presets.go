@@ -201,6 +201,8 @@ var builtinPresets = []Preset{
 // presetMu guards presetIndex: experiments and tests register workloads
 // from whatever goroutine builds them, and the parallel experiment cells
 // look presets up concurrently.
+//
+//cardlint:parallel registry guard off the sim path; lookups are reads and registration happens before any cell runs
 var presetMu sync.RWMutex
 
 var presetIndex = func() map[string]Preset {

@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A directive is one //cardlint:<key> <reason> annotation.
+type directive struct {
+	pos    token.Position
+	key    string
+	reason string
+	used   bool
+}
+
+// parseDirectives extracts every //cardlint: comment from file. The
+// directive grammar is deliberately rigid: the comment must start
+// exactly with "//cardlint:" (no space before the colon), the key runs
+// to the first space, and everything after it is the reason.
+func parseDirectives(fset *token.FileSet, file *ast.File) []*directive {
+	var ds []*directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//cardlint:")
+			if !ok {
+				continue
+			}
+			key, reason, _ := strings.Cut(text, " ")
+			ds = append(ds, &directive{
+				pos:    fset.Position(c.Pos()),
+				key:    strings.TrimSpace(key),
+				reason: strings.TrimSpace(reason),
+			})
+		}
+	}
+	return ds
+}
+
+// suppresses reports whether d silences a finding with key at pos: same
+// file, matching key, non-empty reason, and the directive sits on the
+// finding's line (trailing comment) or the line directly above.
+func (d *directive) suppresses(key string, pos token.Position) bool {
+	return d.key == key &&
+		d.reason != "" &&
+		d.pos.Filename == pos.Filename &&
+		(d.pos.Line == pos.Line || d.pos.Line+1 == pos.Line)
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoStmt keeps internal/par the single concurrency choke point: `go`
+// statements and raw sync.Mutex / sync.RWMutex / sync.WaitGroup are
+// flagged everywhere else in sim code. Every fan-out that goes through
+// par.Do/Workers/WorkersN inherits the pool's determinism guarantees
+// (index-addressed jobs, stable worker ids, deterministic panic
+// propagation); a hand-rolled goroutine or lock sidesteps all of them.
+//
+// sync.Pool and sync/atomic are not flagged: pooled scratch reuse and
+// atomic tallies do not order results (the recorder's atomic counters
+// are commutative sums).
+var GoStmt = &Analyzer{
+	Name: "gostmt",
+	Doc:  "permits go statements and raw sync primitives only inside internal/par",
+	Key:  "parallel",
+	Run:  runGoStmt,
+}
+
+var bannedSyncTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+}
+
+func runGoStmt(pass *Pass) error {
+	switch pass.Scope.Class(pass.Path) {
+	case ClassExempt, ClassPar:
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Go,
+					"go statement outside internal/par: fan out through par.Do/Workers or annotate //cardlint:parallel <reason>")
+			case *ast.SelectorExpr:
+				tn, ok := pass.Info.Uses[n.Sel].(*types.TypeName)
+				if !ok || tn.Pkg() == nil || tn.Pkg().Path() != "sync" || !bannedSyncTypes[tn.Name()] {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"raw sync.%s outside internal/par: route concurrency through the worker pool or annotate //cardlint:parallel <reason>",
+					tn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+// Package linttest runs cardlint analyzers over fixture packages and
+// checks their findings against expectations embedded in the fixture
+// source — the same contract as golang.org/x/tools/go/analysis/analysistest,
+// re-implemented on the standard library.
+//
+// Expectations are trailing comments:
+//
+//	for k := range m { // want `range over map`
+//
+// Each backquoted or double-quoted string after "want" is a regular
+// expression that must match a finding reported on that line. A line
+// that cannot carry a second comment (a //cardlint: directive being
+// itself under test) takes its expectation from the line above via
+// "wantbelow":
+//
+//	// wantbelow `needs a reason`
+//	//cardlint:ordered
+//
+// The run fails if any expectation goes unmatched or any finding is
+// unexpected, so fixtures pin both positives and negatives.
+package linttest
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"card/internal/lint"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// expectation is one want clause: a pattern expected to match a finding
+// at file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// parseWants scans one fixture file for want/wantbelow clauses.
+func parseWants(t *testing.T, path string) []*expectation {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var wants []*expectation
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		idx := strings.Index(text, "// want")
+		if idx < 0 {
+			continue
+		}
+		clause := text[idx+len("// want"):]
+		target := line
+		if rest, ok := strings.CutPrefix(clause, "below"); ok {
+			clause = rest
+			target = line + 1
+		}
+		ms := wantRE.FindAllStringSubmatch(clause, -1)
+		if len(ms) == 0 {
+			t.Fatalf("%s:%d: want clause with no quoted pattern", path, line)
+		}
+		for _, m := range ms {
+			pat := m[1]
+			if pat == "" {
+				pat = m[2]
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", path, line, pat, err)
+			}
+			wants = append(wants, &expectation{file: path, line: target, pattern: re})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// ModuleRoot walks up from the working directory to the enclosing
+// go.mod, which anchors fixture loading and `go list` runs.
+func ModuleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("linttest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// Run loads the fixture package in dir under the given import path,
+// runs analyzers (the full suite when nil) with scope, and compares
+// findings against the fixture's want clauses.
+func Run(t *testing.T, dir, importPath string, scope *lint.Scope, analyzers []*lint.Analyzer) {
+	t.Helper()
+	root := ModuleRoot(t)
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(root, dir)
+	}
+	pkg, err := lint.LoadDir(root, dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if analyzers == nil {
+		analyzers = lint.Analyzers
+	}
+	diags := lint.RunPackage(scope, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.Path, analyzers)
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		wants = append(wants, parseWants(t, pkg.Fset.Position(f.Package).Filename)...)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags `for … range` over map-typed values in deterministic
+// packages. Go's map iteration order is deliberately randomized, so any
+// map range whose body's effect depends on visit order can perturb
+// results between runs — the exact failure mode the serial==parallel
+// equivalence tests only catch probabilistically.
+//
+// Two shapes pass without annotation:
+//
+//   - `for range m` with no iteration variables: the body cannot
+//     observe keys, so order cannot leak.
+//   - the collect-then-sort idiom: a body that only appends to a slice
+//     which is later handed to a sort/slices call in the same function,
+//     making the order canonical before use.
+//
+// Everything else needs //cardlint:ordered <reason>, turning the
+// implicit "this is order-insensitive" argument into reviewed prose.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "flags nondeterministic map iteration in deterministic packages",
+	Key:  "ordered",
+	Run:  runMapRange,
+}
+
+func runMapRange(pass *Pass) error {
+	if pass.Scope.Class(pass.Path) != ClassDeterministic {
+		return nil
+	}
+	for _, file := range pass.Files {
+		var funcs []ast.Node // enclosing FuncDecl/FuncLit stack
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcs = append(funcs, n)
+				ast.Inspect(bodyOf(n), walk)
+				funcs = funcs[:len(funcs)-1]
+				return false
+			case *ast.RangeStmt:
+				tv, ok := pass.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if n.Key == nil && n.Value == nil {
+					return true // body cannot observe keys
+				}
+				var encl ast.Node
+				if len(funcs) > 0 {
+					encl = funcs[len(funcs)-1]
+				}
+				if encl != nil && isCollectThenSort(pass, encl, n) {
+					return true
+				}
+				pass.Reportf(n.For,
+					"range over map %s: iteration order is nondeterministic; iterate sorted keys or annotate //cardlint:ordered <reason>",
+					types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+	return nil
+}
+
+func bodyOf(n ast.Node) ast.Node {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		if n.Body == nil {
+			return &ast.BlockStmt{}
+		}
+		return n.Body
+	case *ast.FuncLit:
+		return n.Body
+	}
+	return n
+}
+
+// isCollectThenSort recognizes the canonical deterministic idiom: the
+// range body is exactly `s = append(s, …)` for some slice s declared
+// outside the loop, and a later statement in the same function passes s
+// to a function from package sort or slices.
+func isCollectThenSort(pass *Pass, fn ast.Node, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[lhs]
+	if obj == nil {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+		return false
+	}
+	if a0, ok := call.Args[0].(*ast.Ident); !ok || pass.Info.Uses[a0] != obj {
+		return false
+	}
+	// The collected slice must reach a sort after the loop.
+	sorted := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok || c.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := c.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.Info.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range c.Args {
+			if mentionsObject(pass, arg, obj) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+func mentionsObject(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

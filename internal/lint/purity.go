@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// Purity bans ambient nondeterminism sources in sim packages: the
+// global/unspecified generators of math/rand (either version) and
+// crypto/rand, wall-clock reads, and environment/pid reads. Every
+// random draw in sim code must come from a seeded xrand stream and
+// every timestamp from the simulated clock, or two runs of the same
+// (scenario, seed) pair stop being bit-identical.
+//
+// cmd/* and examples/* are user-interface code and exempt;
+// internal/experiments may read the wall clock (its timing columns
+// report real elapsed time) but keeps the other bans.
+var Purity = &Analyzer{
+	Name: "purity",
+	Doc:  "bans math/rand, crypto/rand, wall-clock and env/pid reads in sim packages",
+	Key:  "impure",
+	Run:  runPurity,
+}
+
+var bannedImports = map[string]string{
+	"math/rand":    "unseeded/global RNG; derive a stream from xrand instead",
+	"math/rand/v2": "unseeded/global RNG; derive a stream from xrand instead",
+	"crypto/rand":  "entropy source; sim randomness must be a pure function of the seed",
+}
+
+// bannedFuncs maps package path → function name → why.
+var bannedFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read; use the simulated clock",
+		"Since": "wall-clock read; use the simulated clock",
+		"Until": "wall-clock read; use the simulated clock",
+	},
+	"os": {
+		"Getenv":    "environment read; results must not depend on the host",
+		"LookupEnv": "environment read; results must not depend on the host",
+		"Environ":   "environment read; results must not depend on the host",
+		"Getpid":    "pid read; results must not depend on the host",
+		"Getppid":   "pid read; results must not depend on the host",
+		"Hostname":  "host identity read; results must not depend on the host",
+	},
+}
+
+func runPurity(pass *Pass) error {
+	class := pass.Scope.Class(pass.Path)
+	if class == ClassExempt {
+		return nil
+	}
+	wallClockOK := class == ClassExperiments
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := bannedImports[path]; ok {
+				pass.Reportf(imp.Pos(), "import of %s in sim package: %s (or annotate //cardlint:impure <reason>)", path, why)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			names, ok := bannedFuncs[obj.Pkg().Path()]
+			if !ok {
+				return true
+			}
+			why, ok := names[obj.Name()]
+			if !ok {
+				return true
+			}
+			if wallClockOK && obj.Pkg().Path() == "time" {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s in sim package: %s (or annotate //cardlint:impure <reason>)",
+				obj.Pkg().Name(), obj.Name(), why)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// knownKeys is the set of suppression keywords the full suite accepts;
+// directive keys outside it are typos and are always reported.
+func knownKeys() map[string]bool {
+	m := make(map[string]bool, len(Analyzers))
+	for _, a := range Analyzers {
+		m[a.Key] = true
+	}
+	return m
+}
+
+// RunPackage runs analyzers over one typechecked package and returns
+// the surviving findings: analyzer diagnostics minus suppressed ones,
+// plus directive hygiene findings (bare reasons, unknown keys, unused
+// suppressions). Test files are outside the lint surface — the
+// equivalence tests themselves iterate maps and read clocks freely —
+// so _test.go files and test-binary packages are skipped entirely.
+func RunPackage(scope *Scope, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, path string, analyzers []*Analyzer) []Diagnostic {
+	// Normalize test-variant paths ("p [p.test]" → "p") and skip test
+	// binaries and external test packages outright.
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	if strings.HasSuffix(path, ".test") || strings.HasSuffix(pkg.Name(), "_test") {
+		return nil
+	}
+	var srcFiles []*ast.File
+	for _, f := range files {
+		name := fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		srcFiles = append(srcFiles, f)
+	}
+	if len(srcFiles) == 0 {
+		return nil
+	}
+
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:     fset,
+			Files:    srcFiles,
+			Pkg:      pkg,
+			Info:     info,
+			Path:     path,
+			Scope:    scope,
+			analyzer: a,
+			report:   func(d Diagnostic) { raw = append(raw, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			raw = append(raw, Diagnostic{
+				Analyzer: a.Name,
+				Pos:      token.Position{Filename: path},
+				Message:  fmt.Sprintf("analyzer error: %v", err),
+			})
+		}
+	}
+
+	var directives []*directive
+	for _, f := range srcFiles {
+		directives = append(directives, parseDirectives(fset, f)...)
+	}
+
+	ranKeys := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ranKeys[a.Key] = true
+	}
+
+	var out []Diagnostic
+	for _, d := range raw {
+		suppressed := false
+		for _, dir := range directives {
+			if dir.suppresses(d.Key, d.Pos) {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+
+	known := knownKeys()
+	for _, dir := range directives {
+		switch {
+		case !known[dir.key]:
+			out = append(out, Diagnostic{
+				Analyzer: "cardlint",
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("unknown cardlint directive key %q (known: ordered, impure, parallel, stream)", dir.key),
+			})
+		case dir.reason == "":
+			out = append(out, Diagnostic{
+				Analyzer: "cardlint",
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("//cardlint:%s needs a reason: state why this cannot perturb results", dir.key),
+			})
+		case !dir.used && ranKeys[dir.key]:
+			out = append(out, Diagnostic{
+				Analyzer: "cardlint",
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("unused //cardlint:%s suppression: nothing on this or the next line is flagged", dir.key),
+			})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

@@ -1,0 +1,319 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// xrandPath is the deterministic RNG package every stream check keys on.
+const xrandPath = "card/internal/xrand"
+
+// derivationMethods are the xrand.Rand calls that constitute stream
+// discipline: StreamSeed is a pure read of the lineage, Reseed resets a
+// worker-owned generator to a named substream, SplitStream/Derive mint
+// independent child streams.
+var derivationMethods = map[string]bool{
+	"StreamSeed":  true,
+	"Reseed":      true,
+	"SplitStream": true,
+	"Derive":      true,
+}
+
+// StreamDiscipline guards the counter-based stream contract around the
+// worker pool — the bug class the per-(node, round) streams exist to
+// prevent. Two patterns are flagged:
+//
+//   - A *xrand.Rand declared outside a func literal that is handed to
+//     par.Do/Workers/WorkersN, but drawn from (or reseeded) inside it.
+//     Workers interleave nondeterministically, so a shared generator's
+//     consumption order — and therefore every downstream draw — varies
+//     run to run (and races). The only safe use of a captured root
+//     generator is StreamSeed, which reads the immutable lineage;
+//     worker code must draw from per-worker generators reseeded to
+//     (item, round) substreams.
+//
+//   - A struct field of type *xrand.Rand (or []*xrand.Rand) in a
+//     deterministic package whose defining package never visibly
+//     derives it (no f.Reseed/StreamSeed/SplitStream/Derive call, no
+//     assignment from an xrand constructor/derivation). Undisciplined
+//     stored generators are how a "shared rand captured by a worker"
+//     is born.
+var StreamDiscipline = &Analyzer{
+	Name: "streamdiscipline",
+	Doc:  "enforces per-(item, round) xrand stream derivation around the worker pool",
+	Key:  "stream",
+	Run:  runStreamDiscipline,
+}
+
+func runStreamDiscipline(pass *Pass) error {
+	class := pass.Scope.Class(pass.Path)
+	if class == ClassExempt {
+		return nil
+	}
+	for _, file := range pass.Files {
+		checkParClosures(pass, file)
+	}
+	if class == ClassDeterministic {
+		checkRandFields(pass)
+	}
+	return nil
+}
+
+// isXRand reports whether t is *xrand.Rand.
+func isXRand(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Rand" && obj.Pkg() != nil && obj.Pkg().Path() == xrandPath
+}
+
+// checkParClosures flags shared *xrand.Rand use inside func literals
+// passed directly to the worker pool's fan-out entry points.
+func checkParClosures(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pass.Scope.Par {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				checkClosureCaptures(pass, lit)
+			}
+		}
+		return true
+	})
+}
+
+// checkClosureCaptures reports every use of a captured *xrand.Rand
+// inside lit except StreamSeed derivation.
+func checkClosureCaptures(pass *Pass, lit *ast.FuncLit) {
+	freeRand := func(e ast.Expr) bool {
+		// An expression roots in a captured generator when its leftmost
+		// identifier resolves to a variable declared outside the literal.
+		root := e
+		for {
+			s, ok := root.(*ast.SelectorExpr)
+			if !ok {
+				break
+			}
+			root = s.X
+		}
+		id, ok := root.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok {
+			return false
+		}
+		return v.Pos() < lit.Pos() || v.Pos() > lit.End()
+	}
+	// exempt holds nodes already handled as part of an enclosing
+	// expression (the receiver of a StreamSeed call, or the X of a
+	// selector we reported on).
+	exempt := make(map[ast.Node]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok || exempt[n] {
+			return true
+		}
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Type == nil || !isXRand(tv.Type) {
+			return true
+		}
+		switch e := e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			if !freeRand(e) {
+				return true
+			}
+		default:
+			return true
+		}
+		// Mark sub-expressions so a flagged/exempted selector's parts
+		// are not re-reported.
+		if s, ok := e.(*ast.SelectorExpr); ok {
+			exempt[s.X] = true
+			exempt[s.Sel] = true
+		}
+		if m, onlyDerive := soleUseIsMethod(pass, lit.Body, e); onlyDerive && m == "StreamSeed" {
+			return true
+		}
+		pass.Reportf(e.Pos(),
+			"*xrand.Rand captured by a par worker closure: drawing from a shared generator is racy and order-dependent; reseed a per-worker Rand from StreamSeed(item, round) or annotate //cardlint:stream <reason>")
+		return true
+	})
+}
+
+// soleUseIsMethod reports whether expression e (an occurrence, compared
+// by position) appears as the receiver of exactly one method selector,
+// returning that method name. It inspects the immediate parent only: a
+// captured rand used as `root.StreamSeed(a, b)` has its occurrence
+// wrapped by that selector.
+func soleUseIsMethod(pass *Pass, body ast.Node, e ast.Expr) (string, bool) {
+	method := ""
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.X != e {
+			return true
+		}
+		method = sel.Sel.Name
+		found = true
+		return false
+	})
+	return method, found
+}
+
+// checkRandFields flags *xrand.Rand (and []*xrand.Rand) struct fields
+// with no visible derivation discipline anywhere in the package.
+func checkRandFields(pass *Pass) {
+	type fieldDecl struct {
+		obj  types.Object
+		pos  ast.Node
+		name string
+	}
+	var fields []fieldDecl
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				tv, ok := pass.Info.Types[f.Type]
+				if !ok {
+					continue
+				}
+				t := tv.Type
+				if sl, ok := t.(*types.Slice); ok {
+					t = sl.Elem()
+				}
+				if !isXRand(t) {
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						fields = append(fields, fieldDecl{obj: obj, pos: name, name: name.Name})
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(fields) == 0 {
+		return
+	}
+	disciplined := make(map[types.Object]bool)
+	mark := func(sel *ast.SelectorExpr) {
+		if s, ok := pass.Info.Selections[sel]; ok {
+			disciplined[s.Obj()] = true
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// m.rng.Reseed(…) / m.rngs[i].Derive(…) / p.rng.StreamSeed(…)
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || !derivationMethods[sel.Sel.Name] {
+					return true
+				}
+				recv := sel.X
+				if ix, ok := recv.(*ast.IndexExpr); ok {
+					recv = ix.X
+				}
+				if fieldSel, ok := recv.(*ast.SelectorExpr); ok {
+					mark(fieldSel)
+				}
+			case *ast.AssignStmt:
+				// m.rng = xrand.New(…) / m.rngs[i] = root.Derive(…)
+				for i, lhs := range n.Lhs {
+					if ix, ok := lhs.(*ast.IndexExpr); ok {
+						lhs = ix.X
+					}
+					fieldSel, ok := lhs.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					rhs := n.Rhs[0]
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					}
+					if containsDerivation(pass, rhs) {
+						mark(fieldSel)
+					}
+				}
+			case *ast.CompositeLit:
+				// &Model{rng: root.Derive(…)}
+				for _, el := range n.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok || !containsDerivation(pass, kv.Value) {
+						continue
+					}
+					if obj := pass.Info.Uses[key]; obj != nil {
+						disciplined[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range fields {
+		if disciplined[f.obj] {
+			continue
+		}
+		pass.Reportf(f.pos.Pos(),
+			"struct field %s stores a *xrand.Rand with no Reseed/StreamSeed/Derive discipline visible in this package: shared stored generators break the per-(item, round) stream contract; derive it or annotate //cardlint:stream <reason>",
+			f.name)
+	}
+}
+
+// containsDerivation reports whether e contains a call to an xrand
+// constructor or derivation (xrand.New, r.SplitStream, r.Derive, …).
+func containsDerivation(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		var name *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun
+		case *ast.SelectorExpr:
+			name = fun.Sel
+		default:
+			return true
+		}
+		fn, ok := pass.Info.Uses[name].(*types.Func)
+		if ok && fn.Pkg() != nil && fn.Pkg().Path() == xrandPath &&
+			(fn.Name() == "New" || derivationMethods[fn.Name()]) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

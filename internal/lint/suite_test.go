@@ -1,0 +1,46 @@
+package lint_test
+
+import (
+	"testing"
+
+	"card/internal/lint"
+	"card/internal/lint/linttest"
+)
+
+// fixtureScope classifies the fixture packages under testdata/src the
+// way DefaultScope classifies the real tree, so every contract tier is
+// exercised without depending on repository layout.
+var fixtureScope = &lint.Scope{
+	Deterministic: []string{
+		"fixture/maprange",
+		"fixture/purity",
+		"fixture/gostmt",
+		"fixture/stream",
+		"fixture/seeded",
+	},
+	Experiments: []string{"fixture/purityexp"},
+	Par:         "card/internal/par",
+}
+
+// Each fixture runs under the FULL suite: beyond its own analyzer's
+// positives and exemptions, this pins that the other analyzers stay
+// silent on it (no cross-fire) and that directive hygiene holds.
+func TestMapRangeFixture(t *testing.T) {
+	linttest.Run(t, "internal/lint/testdata/src/maprange", "fixture/maprange", fixtureScope, nil)
+}
+
+func TestPurityFixture(t *testing.T) {
+	linttest.Run(t, "internal/lint/testdata/src/purity", "fixture/purity", fixtureScope, nil)
+}
+
+func TestPurityExperimentsFixture(t *testing.T) {
+	linttest.Run(t, "internal/lint/testdata/src/purityexp", "fixture/purityexp", fixtureScope, nil)
+}
+
+func TestGoStmtFixture(t *testing.T) {
+	linttest.Run(t, "internal/lint/testdata/src/gostmt", "fixture/gostmt", fixtureScope, nil)
+}
+
+func TestStreamDisciplineFixture(t *testing.T) {
+	linttest.Run(t, "internal/lint/testdata/src/stream", "fixture/stream", fixtureScope, nil)
+}

@@ -1,0 +1,32 @@
+// Package gostmt is a cardlint fixture exercising the gostmt analyzer:
+// go statements and raw sync primitives outside internal/par, the
+// sync.Pool/atomic allowances, and a suppressed registry guard.
+package gostmt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func spawn(f func()) {
+	go f() // want `go statement outside internal/par`
+}
+
+type guarded struct {
+	mu sync.Mutex // want `raw sync\.Mutex outside internal/par`
+	n  int
+}
+
+var wg sync.WaitGroup // want `raw sync\.WaitGroup outside internal/par`
+
+// wantbelow `raw sync\.RWMutex outside internal/par`
+var rw sync.RWMutex
+
+//cardlint:parallel construction-time registry guard off the sim path
+var okMu sync.Mutex
+
+// sync.Pool and atomic counters are deliberately allowed: scratch reuse
+// and commutative tallies do not order results.
+var scratch sync.Pool
+
+var hits atomic.Uint64

@@ -1,0 +1,101 @@
+// Package maprange is a cardlint fixture exercising the maprange
+// analyzer: flagged iterations, the two unannotated exemptions, valid
+// suppression, and the three directive-hygiene findings.
+package maprange
+
+import "sort"
+
+func plain(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want `range over map map\[string\]int`
+		s += v
+	}
+	return s
+}
+
+// keyOnly sorts the collected slice, but the loop body is not exactly
+// one append, so the collect-then-sort exemption must not apply: the
+// extra statement could observe iteration order.
+func keyOnly(m map[string]int) []string {
+	var out []string
+	n := 0
+	for k := range m { // want `range over map`
+		n++
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	_ = n
+	return out
+}
+
+func keyless(m map[string]int) int {
+	n := 0
+	for range m { // no iteration variables: the body cannot observe keys
+		n++
+	}
+	return n
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // collected then sorted: order is canonical before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func annotated(m map[string]int) int {
+	s := 0
+	//cardlint:ordered commutative sum over values; visit order cannot change the total
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func annotatedTrailing(m map[string]int) int {
+	s := 0
+	for _, v := range m { //cardlint:ordered commutative sum, trailing form
+		s += v
+	}
+	return s
+}
+
+func bareAnnotation(m map[string]int) int {
+	s := 0
+	// wantbelow `needs a reason`
+	//cardlint:ordered
+	for _, v := range m { // want `range over map`
+		s += v
+	}
+	return s
+}
+
+func unknownKey(m map[string]int) int {
+	s := 0
+	// wantbelow `unknown cardlint directive key`
+	//cardlint:sorted keys are fine here
+	for _, v := range m { // want `range over map`
+		s += v
+	}
+	return s
+}
+
+func unusedSuppression(xs []int) int {
+	s := 0
+	// wantbelow `unused //cardlint:ordered suppression`
+	//cardlint:ordered slices already iterate in index order
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,33 @@
+// Package purity is a cardlint fixture exercising the purity analyzer
+// in a deterministic (sim) package: banned imports, wall-clock reads,
+// env/pid reads, and a suppressed host-identity read.
+package purity
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand`
+	"math/rand"         // want `import of math/rand`
+	"os"
+	"time"
+)
+
+func draw() int { return rand.Int() }
+
+func entropy(b []byte) { crand.Read(b) }
+
+func now() int64 { return time.Now().Unix() } // want `time\.Now in sim package`
+
+func elapsed(t0 time.Time) time.Duration { return time.Since(t0) } // want `time\.Since in sim package`
+
+func home() string { return os.Getenv("HOME") } // want `os\.Getenv in sim package`
+
+func pid() int { return os.Getpid() } // want `os\.Getpid in sim package`
+
+func host() string {
+	//cardlint:impure host identity feeds a log prefix, never a result
+	h, _ := os.Hostname()
+	return h
+}
+
+// time.Time values and duration arithmetic are fine; only clock reads
+// are banned.
+func add(t time.Time, d time.Duration) time.Time { return t.Add(d) }

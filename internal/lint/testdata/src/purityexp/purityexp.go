@@ -1,0 +1,20 @@
+// Package purityexp is a cardlint fixture for the experiments tier:
+// wall-clock reads are allowed (the harness prints real elapsed time),
+// but the RNG and environment bans still hold.
+package purityexp
+
+import (
+	"math/rand" // want `import of math/rand`
+	"os"
+	"time"
+)
+
+func draw() int { return rand.Int() }
+
+func timed(f func()) time.Duration {
+	t0 := time.Now() // allowed: experiments report wall-clock timings
+	f()
+	return time.Since(t0)
+}
+
+func home() string { return os.Getenv("HOME") } // want `os\.Getenv in sim package`

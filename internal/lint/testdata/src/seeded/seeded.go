@@ -1,0 +1,17 @@
+// Package seeded is a deliberately contract-violating fixture: the
+// meta-test runs the full suite over it and must see unannotated
+// findings, proving the repo-wide zero-findings assertion is not
+// vacuously green.
+package seeded
+
+import "time"
+
+func tally(m map[int]int) int {
+	s := 0
+	for _, v := range m { // maprange: unannotated
+		s += v
+	}
+	return s
+}
+
+func stamp() int64 { return time.Now().UnixNano() } // purity: unannotated

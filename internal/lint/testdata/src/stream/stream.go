@@ -1,0 +1,96 @@
+// Package stream is a cardlint fixture exercising the streamdiscipline
+// analyzer: shared generators captured by par worker closures, the
+// StreamSeed and per-worker exemptions, and stored-field discipline.
+package stream
+
+import (
+	"card/internal/par"
+	"card/internal/xrand"
+)
+
+func sharedDraw(n int, root *xrand.Rand, out []float64) {
+	par.Do(n, func(i int) {
+		out[i] = root.Float64() // want `captured by a par worker closure`
+	})
+}
+
+func sharedReseed(n int, root *xrand.Rand, out []float64) {
+	par.Do(n, func(i int) {
+		root.Reseed(uint64(i))  // want `captured by a par worker closure`
+		out[i] = root.Float64() // want `captured by a par worker closure`
+	})
+}
+
+// streamSeedOnly is the legal shared use: StreamSeed reads the
+// immutable lineage, it does not advance the generator.
+func streamSeedOnly(n int, root *xrand.Rand, out []uint64) {
+	par.Do(n, func(i int) {
+		out[i] = root.StreamSeed(uint64(i), 0)
+	})
+}
+
+// perWorker is the canonical pattern: worker-owned generators reseeded
+// to (item, round) substreams. rngs[w] is worker-private by index.
+func perWorker(n int, root *xrand.Rand, out []float64) {
+	rngs := make([]*xrand.Rand, par.Limit())
+	for w := range rngs {
+		rngs[w] = root.Derive(uint64(w))
+	}
+	par.Workers(n, func(w, i int) {
+		rngs[w].Reseed(root.StreamSeed(uint64(i), 0))
+		out[i] = rngs[w].Float64()
+	})
+}
+
+// localRand declares its generator inside the closure: not a capture.
+func localRand(n int, root *xrand.Rand, out []float64) {
+	par.Do(n, func(i int) {
+		r := xrand.New(root.StreamSeed(uint64(i), 1))
+		out[i] = r.Float64()
+	})
+}
+
+func annotatedCapture(n int, root *xrand.Rand, out []float64) {
+	par.Do(n, func(i int) {
+		//cardlint:stream fixture: documents the suppression path, not a pattern to copy
+		out[i] = root.Float64()
+	})
+}
+
+type undisciplined struct {
+	rng *xrand.Rand // want `stores a \*xrand\.Rand with no Reseed/StreamSeed/Derive discipline`
+}
+
+type disciplined struct {
+	rng *xrand.Rand // ok: reseeded per (item, round) in step below
+}
+
+func (d *disciplined) step(item, round uint64, root *xrand.Rand) float64 {
+	d.rng.Reseed(root.StreamSeed(item, round))
+	return d.rng.Float64()
+}
+
+type sliceDisciplined struct {
+	rngs []*xrand.Rand // ok: every element assigned from Derive below
+}
+
+func newSliceDisciplined(n int, root *xrand.Rand) *sliceDisciplined {
+	s := &sliceDisciplined{rngs: make([]*xrand.Rand, n)}
+	for i := range s.rngs {
+		s.rngs[i] = root.Derive(uint64(i))
+	}
+	return s
+}
+
+type litDisciplined struct {
+	rng *xrand.Rand // ok: composite literal below derives it
+}
+
+func newLitDisciplined(root *xrand.Rand) *litDisciplined {
+	return &litDisciplined{rng: root.Derive(7)}
+}
+
+type annotatedField struct {
+	//cardlint:stream fixture: the owning engine reseeds this outside the package
+	rng *xrand.Rand
+}

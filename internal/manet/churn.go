@@ -55,8 +55,10 @@ func NewChurn(n int, cfg ChurnConfig, rng *xrand.Rand) (*Churn, error) {
 	}
 	c := &Churn{cfg: cfg, nodes: make([]churnState, n)}
 	for i := range c.nodes {
-		r := rng.Derive(uint64(i))
-		c.nodes[i] = churnState{rng: r, up: true, until: cfg.MeanUp * r.ExpFloat64()}
+		s := &c.nodes[i]
+		s.rng = rng.Derive(uint64(i))
+		s.up = true
+		s.until = cfg.MeanUp * s.rng.ExpFloat64()
 	}
 	return c, nil
 }

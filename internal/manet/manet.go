@@ -114,8 +114,9 @@ func (m TopologyMode) String() string {
 type Network struct {
 	model   mobility.Model
 	txRange float64
-	rng     *xrand.Rand
-	mode    TopologyMode
+	//cardlint:stream run-owner generator stored by the single-goroutine substrate; parallel layers only ever read derived (node, round) streams
+	rng  *xrand.Rand
+	mode TopologyMode
 
 	now     float64
 	epoch   uint64

@@ -95,8 +95,8 @@ func NewGaussMarkov(n int, area geom.Rect, cfg GMConfig, rng *xrand.Rand) (*Gaus
 		meanDir: make([]float64, n),
 	}
 	for i := 0; i < n; i++ {
-		r := rng.Derive(uint64(i))
-		m.rngs[i] = r
+		m.rngs[i] = rng.Derive(uint64(i))
+		r := m.rngs[i]
 		m.pos[i] = geom.Point{X: r.Range(0, area.W), Y: r.Range(0, area.H)}
 		m.dir[i] = r.Range(0, 2*math.Pi)
 		m.meanDir[i] = m.dir[i]

@@ -157,9 +157,14 @@ func ParseSetdest(r io.Reader) (*Trace, error) {
 		Initial: make([]geom.Point, len(nodes)),
 		Events:  make([][]TraceEvent, len(nodes)),
 	}
-	for id, nd := range nodes {
-		if id < 0 || id >= len(nodes) {
-			return nil, fmt.Errorf("mobility: trace node ids not dense: id %d with %d nodes", id, len(nodes))
+	// Walk ids in order rather than ranging the map: validation errors
+	// (and therefore which malformed node is reported) stay deterministic.
+	for id := 0; id < len(nodes); id++ {
+		nd := nodes[id]
+		if nd == nil {
+			// Pigeonhole: len(nodes) distinct ids with one of [0, N)
+			// missing means some id was negative or >= N.
+			return nil, fmt.Errorf("mobility: trace node ids not dense: %d nodes but no node %d", len(nodes), id)
 		}
 		if !nd.hasX || !nd.hasY {
 			return nil, fmt.Errorf("mobility: trace node %d missing initial X_/Y_", id)

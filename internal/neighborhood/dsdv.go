@@ -118,9 +118,7 @@ func (d *DSDV) R() int { return d.r }
 
 func (d *DSDV) observeNeighbors(u NodeID) {
 	set := d.neighbors[u]
-	for k := range set {
-		delete(set, k)
-	}
+	clear(set)
 	for _, v := range d.net.Neighbors(u) {
 		set[v] = struct{}{}
 	}
@@ -178,6 +176,7 @@ func (d *DSDV) tableFingerprint() uint64 {
 		mix(uint64(u) + 1)
 		// Order-independent accumulation: XOR of per-entry hashes.
 		var acc uint64
+		//cardlint:ordered commutative XOR accumulation; visit order cannot reach the hash
 		for dst, e := range tab {
 			eh := uint64(dst+1)*0x9e3779b97f4a7c15 ^ uint64(e.metric+1)*0xc2b2ae3d27d4eb4f ^ uint64(e.next+2)
 			acc ^= eh
@@ -201,6 +200,7 @@ func (d *DSDV) dump(u NodeID, brokenOnly bool) {
 	d.net.Broadcast(manet.CatDSDV)
 	inf := int32(d.r + 1)
 	for _, v := range d.net.Neighbors(u) {
+		//cardlint:ordered each advertised entry mutates only the receiver's row for its own dst; rows are disjoint and reads never cross entries
 		for dst, e := range tab {
 			if e.metric >= inf {
 				// Broken routes are always advertised (metric stays
@@ -261,6 +261,7 @@ func seqNewer(a, b uint32) bool { return int32(a-b) > 0 }
 // ExpireAfter. Broken entries are also garbage-collected here once stale.
 func (d *DSDV) expire(u NodeID) {
 	tab := d.tables[u]
+	//cardlint:ordered per-dst keep/delete decisions depend only on that entry's timestamp; deletions are of the current key only
 	for dst, e := range tab {
 		if dst == u {
 			continue
@@ -288,9 +289,11 @@ func (d *DSDV) DetectBreaks(now float64) {
 		for _, v := range d.net.Neighbors(u) {
 			cur[v] = struct{}{}
 		}
+		//cardlint:ordered membership tests against cur plus a commutative lost flag; no order-sensitive state
 		for v := range d.neighbors[u] {
 			if _, still := cur[v]; !still {
 				lost = true
+				//cardlint:ordered a route row has one next hop, so at most one vanished v breaks it; row mutations are disjoint across the scan
 				for dst, e := range d.tables[u] {
 					if e.next == v && e.metric < inf && dst != u {
 						e.metric = inf
@@ -320,6 +323,7 @@ func (d *DSDV) refreshCache(u NodeID) {
 	}
 	members := d.members[u][:0]
 	edges := d.edges[u][:0]
+	//cardlint:ordered both collected slices are sorted below before the Provider facade exposes them
 	for dst, e := range d.tables[u] {
 		if !d.entryLive(e) {
 			continue

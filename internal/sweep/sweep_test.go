@@ -51,18 +51,18 @@ func TestParseSpecCaseRules(t *testing.T) {
 
 func TestParseSpecErrors(t *testing.T) {
 	for _, bad := range []string{
-		"",                 // empty grid
-		"NoC",              // no values
-		"bogus=1..3",       // unknown axis
-		"NoC=3..1",         // descending range
-		"NoC=1..5..0",      // zero step
-		"NoC=1.5,2",        // non-integer on an int axis
-		"Method=EM,QM",     // unknown method
-		"D=0..2",           // below minimum
-		"VP=0,1",           // non-positive period
-		"NoC=1..3;noc=2",   // duplicate axis (checked by Validate below)
-		"NoC=x",            // unparseable
-		"r=8..16..2..1",    // too many range parts
+		"",               // empty grid
+		"NoC",            // no values
+		"bogus=1..3",     // unknown axis
+		"NoC=3..1",       // descending range
+		"NoC=1..5..0",    // zero step
+		"NoC=1.5,2",      // non-integer on an int axis
+		"Method=EM,QM",   // unknown method
+		"D=0..2",         // below minimum
+		"VP=0,1",         // non-positive period
+		"NoC=1..3;noc=2", // duplicate axis (checked by Validate below)
+		"NoC=x",          // unparseable
+		"r=8..16..2..1",  // too many range parts
 	} {
 		axes, err := ParseSpec(bad)
 		if err == nil {

@@ -7,6 +7,7 @@ import (
 
 	"card/internal/engine"
 	"card/internal/experiments"
+	"card/internal/lint"
 )
 
 // TestReadmeListsEverything is the docs gate CI runs: README.md must name
@@ -27,6 +28,18 @@ func TestReadmeListsEverything(t *testing.T) {
 	for _, id := range experiments.Names() {
 		if !strings.Contains(readme, "`"+id+"`") {
 			t.Errorf("README.md does not list experiment %q", id)
+		}
+	}
+	// The tooling table must track the lint suite the same way the
+	// preset/experiment tables track their registries.
+	for _, tool := range []string{"cardlint", "benchjson"} {
+		if !strings.Contains(readme, "`"+tool+"`") {
+			t.Errorf("README.md does not list tool %q", tool)
+		}
+	}
+	for _, a := range lint.Analyzers {
+		if !strings.Contains(readme, "`"+a.Name+"`") {
+			t.Errorf("README.md does not list cardlint analyzer %q", a.Name)
 		}
 	}
 }
