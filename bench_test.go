@@ -526,3 +526,34 @@ func BenchmarkMaintenanceRound(b *testing.B) {
 		sim.Advance(0.5)
 	}
 }
+
+// BenchmarkSchemeSustained1k runs the identical sustained workload on the
+// 1k preset under each headline discovery scheme — CARD, Rendezvous
+// Regions, bordercast — so the comparative overhead claim has a standing
+// ledger (CI records it as BENCH_8.json).
+func BenchmarkSchemeSustained1k(b *testing.B) {
+	for _, s := range []WorkloadScheme{SchemeCARD, SchemeRendezvous, SchemeBordercast} {
+		b.Run(s, func(b *testing.B) {
+			sim, err := NewPresetSimulation("citywide-rwp-1k", 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim.SelectContacts()
+			var last *WorkloadReport
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := sim.RunWorkload(WorkloadConfig{
+					QPS: 100, Duration: 5, Resources: 128, Replicas: 2,
+					ZipfS: 0.9, Scheme: s, Seed: uint64(i) + 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = rep
+			}
+			b.ReportMetric(last.SuccessPct, "success-%")
+			b.ReportMetric(last.Messages.Mean, "msgs-mean")
+			b.ReportMetric(last.Messages.P95, "msgs-p95")
+		})
+	}
+}

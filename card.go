@@ -3,6 +3,7 @@ package card
 import (
 	proto "card/internal/card"
 	"card/internal/engine"
+	"card/internal/scheme"
 	"card/internal/sweep"
 	"card/internal/topology"
 	"card/internal/workload"
@@ -114,11 +115,13 @@ type WorkloadReport = workload.Report
 // WorkloadOutcome is one executed query of a sustained-traffic stream.
 type WorkloadOutcome = workload.Outcome
 
-// WorkloadScheme selects the discovery mechanism sustained traffic
-// exercises; see the Scheme* constants.
+// WorkloadScheme names the discovery mechanism sustained traffic
+// exercises — any scheme registered with the pluggable scheme layer; see
+// the Scheme* constants for the built-ins and SchemeNames for the full
+// registered set.
 type WorkloadScheme = workload.Scheme
 
-// Discovery schemes for WorkloadConfig.Scheme.
+// Discovery schemes for WorkloadConfig.Scheme and SweepGrid.Scheme.
 const (
 	// SchemeCARD runs contact-based discovery (the default), sharded
 	// across workers per tick.
@@ -127,7 +130,15 @@ const (
 	SchemeFlood = workload.Flood
 	// SchemeExpandingRing runs the TTL-doubling anycast baseline.
 	SchemeExpandingRing = workload.ExpandingRing
+	// SchemeBordercast runs ZRP bordercasting with query detection.
+	SchemeBordercast = workload.Bordercast
+	// SchemeRendezvous runs Rendezvous Regions: resource keys hash to
+	// geographic regions that registrations and lookups meet in.
+	SchemeRendezvous = workload.Rendezvous
 )
+
+// SchemeNames lists every registered discovery scheme name, sorted.
+func SchemeNames() []string { return scheme.Names() }
 
 // SweepAxis is one swept parameter of a SweepGrid: a canonical config
 // axis name (R, r, NoC, D, Method, VP) and its values.

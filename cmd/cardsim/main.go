@@ -18,10 +18,15 @@
 //
 //	cardsim -preset citywide-rwp-1k -sweep "NoC=2..8..2;r=8..14..2"
 //	cardsim -preset churn-2k -sweep "Method=EM,PM2;NoC=2,4" -seeds 5 -format csv
+//	cardsim -sweep "NoC=1..4" -scheme rendezvous    # scheme cells on the default preset
+//	cardsim -preset citywide-rwp-1k -sweep "Scheme=card,rendezvous;NoC=2,4"
 //
 // A -sweep grid runs one isolated engine per (point, seed) cell over the
-// preset's scenario and reports the overhead-vs-reachability trade-off
-// per point, with Pareto-frontier configurations starred.
+// preset's scenario (citywide-rwp-1k when -preset is omitted) and reports
+// the overhead-vs-reachability trade-off per point, with Pareto-frontier
+// configurations starred. -scheme routes every cell's (and every
+// sustained-traffic run's) queries through the named discovery scheme;
+// a Scheme sweep axis overrides it per point.
 //
 // Experiment ids match the per-experiment index in DESIGN.md.
 package main
@@ -37,6 +42,7 @@ import (
 	proto "card/internal/card"
 	"card/internal/engine"
 	"card/internal/experiments"
+	"card/internal/scheme"
 	"card/internal/sweep"
 	"card/internal/workload"
 )
@@ -50,18 +56,19 @@ func main() {
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		timing = flag.Bool("time", false, "print wall-clock time per experiment")
 
-		presets  = flag.Bool("presets", false, "list workload presets and exit")
-		preset   = flag.String("preset", "", "run one workload preset end to end")
-		trace    = flag.String("trace", "", "replay an ns-2 setdest movement trace end to end")
-		tx       = flag.Float64("tx", 100, "radio range in meters for -trace runs")
-		churn    = flag.String("churn", "", "add node churn to the run: meanUp,meanDown seconds (e.g. 60,15)")
-		queries  = flag.Int("queries", 500, "batched queries per preset run")
-		horizon  = flag.Float64("horizon", -1, "simulated seconds before querying (-1 = preset default)")
-		seed     = flag.Uint64("seed", 1, "preset run seed")
-		topology = flag.String("topology", "grid", "topology path: grid (incremental), full, naive")
-		qps      = flag.Float64("qps", -1, "sustained query-traffic rate in queries/s (-1 = preset default, 0 = off)")
-		zipf     = flag.Float64("zipf", -1, "resource popularity skew for sustained traffic (-1 = preset default)")
-		sweepArg = flag.String("sweep", "", `parameter-sweep grid over the preset, e.g. "NoC=1..10;r=6..20"`)
+		presets   = flag.Bool("presets", false, "list workload presets and exit")
+		preset    = flag.String("preset", "", "run one workload preset end to end")
+		trace     = flag.String("trace", "", "replay an ns-2 setdest movement trace end to end")
+		tx        = flag.Float64("tx", 100, "radio range in meters for -trace runs")
+		churn     = flag.String("churn", "", "add node churn to the run: meanUp,meanDown seconds (e.g. 60,15)")
+		queries   = flag.Int("queries", 500, "batched queries per preset run")
+		horizon   = flag.Float64("horizon", -1, "simulated seconds before querying (-1 = preset default)")
+		seed      = flag.Uint64("seed", 1, "preset run seed")
+		topology  = flag.String("topology", "grid", "topology path: grid (incremental), full, naive")
+		qps       = flag.Float64("qps", -1, "sustained query-traffic rate in queries/s (-1 = preset default, 0 = off)")
+		zipf      = flag.Float64("zipf", -1, "resource popularity skew for sustained traffic (-1 = preset default)")
+		sweepArg  = flag.String("sweep", "", `parameter-sweep grid over the preset, e.g. "NoC=1..10;r=6..20"`)
+		schemeArg = flag.String("scheme", "", "discovery scheme for sweeps and sustained traffic: card, flood, ring, bordercast, rendezvous")
 	)
 	flag.Parse()
 
@@ -78,6 +85,14 @@ func main() {
 		}
 		return
 	}
+	if *schemeArg != "" && !scheme.Known(*schemeArg) {
+		fmt.Fprintf(os.Stderr, "cardsim: unknown -scheme %q (have %v)\n", *schemeArg, scheme.Names())
+		os.Exit(2)
+	}
+	// A bare -sweep runs over the default citywide preset.
+	if *sweepArg != "" && *preset == "" && *trace == "" {
+		*preset = "citywide-rwp-1k"
+	}
 	if *preset != "" || *trace != "" {
 		p, err := resolveWorkload(*preset, *trace, *tx, *churn)
 		if err == nil {
@@ -85,10 +100,10 @@ func main() {
 				if *qps >= 0 || *zipf >= 0 {
 					err = fmt.Errorf("-qps/-zipf (sustained traffic) do not compose with -sweep; sweep cells measure batched queries")
 				} else {
-					err = runSweep(p, *sweepArg, *seeds, *queries, *horizon, *seed, *topology, *format)
+					err = runSweep(p, *sweepArg, *schemeArg, *seeds, *queries, *horizon, *seed, *topology, *format)
 				}
 			} else {
-				err = runPreset(p, *queries, *horizon, *seed, *topology, resolveTraffic(p, *qps, *zipf))
+				err = runPreset(p, *queries, *horizon, *seed, *topology, resolveTraffic(p, *qps, *zipf, *schemeArg))
 			}
 		}
 		if err != nil {
@@ -96,10 +111,6 @@ func main() {
 			os.Exit(2)
 		}
 		return
-	}
-	if *sweepArg != "" {
-		fmt.Fprintln(os.Stderr, "cardsim: -sweep needs a base workload: combine it with -preset or -trace")
-		os.Exit(2)
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "cardsim: -exp, -preset or -trace required (try -list / -presets)")
@@ -183,7 +194,7 @@ func resolveWorkload(preset, trace string, tx float64, churn string) (engine.Pre
 // resolveTraffic overlays the -qps/-zipf flags on the preset's suggested
 // sustained-traffic shape. qps 0 disables the phase outright; qps > 0 on a
 // traffic-less preset enables it with the workload defaults.
-func resolveTraffic(p engine.Preset, qps, zipf float64) workload.Config {
+func resolveTraffic(p engine.Preset, qps, zipf float64, schemeName string) workload.Config {
 	tr := p.Traffic
 	switch {
 	case qps == 0:
@@ -193,6 +204,9 @@ func resolveTraffic(p engine.Preset, qps, zipf float64) workload.Config {
 	}
 	if zipf >= 0 {
 		tr.ZipfS = zipf
+	}
+	if schemeName != "" {
+		tr.Scheme = schemeName
 	}
 	return tr
 }
@@ -319,7 +333,7 @@ func applyTopology(nc *engine.NetworkConfig, topo string) error {
 // seconds and a -queries batch. The per-point table (Pareto frontier
 // starred) renders through -format; "json" additionally carries the raw
 // per-cell metrics.
-func runSweep(p engine.Preset, spec string, seeds, queries int, horizon float64, seed uint64, topo, format string) error {
+func runSweep(p engine.Preset, spec, schemeName string, seeds, queries int, horizon float64, seed uint64, topo, format string) error {
 	axes, err := sweep.ParseSpec(spec)
 	if err != nil {
 		return err
@@ -330,7 +344,7 @@ func runSweep(p engine.Preset, spec string, seeds, queries int, horizon float64,
 	if horizon < 0 {
 		horizon = p.Horizon
 	}
-	g := &sweep.Grid{Base: p.Protocol, Axes: axes, Seeds: seeds}
+	g := &sweep.Grid{Base: p.Protocol, Scheme: schemeName, Axes: axes, Seeds: seeds}
 	if err := g.Validate(); err != nil {
 		return err
 	}

@@ -609,6 +609,7 @@ type MessageCounts struct {
 	Query        int64 // discovery query hops (CARD, flooding, bordercast)
 	Reply        int64 // success-reply hops
 	Proactive    int64 // neighborhood protocol broadcasts (when DSDV runs)
+	Register     int64 // rendezvous registration hops and region floods
 	TotalPerNode float64
 }
 
@@ -623,6 +624,7 @@ func (e *Engine) Messages() MessageCounts {
 		Query:        k.Get(manet.CatQuery),
 		Reply:        k.Get(manet.CatReply),
 		Proactive:    k.Get(manet.CatDSDV),
+		Register:     k.Get(manet.CatRegister),
 		TotalPerNode: float64(k.Total()) / float64(e.net.N()),
 	}
 }

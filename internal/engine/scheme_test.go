@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"testing"
+
+	"card/internal/workload"
+)
+
+// TestPresetSchemeArms runs the preset-driven scheme arms end to end:
+// bordercast and rendezvous each serve a short sustained workload on the
+// citywide-rwp-1k preset, and their engine-level message ledgers look the
+// way the mechanisms demand — bordercast answers from zone tables and
+// never registers; rendezvous pays registration traffic up front.
+func TestPresetSchemeArms(t *testing.T) {
+	run := func(scheme workload.Scheme) (*workload.Report, MessageCounts) {
+		t.Helper()
+		p, err := LookupPreset("citywide-rwp-1k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := p.New(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SelectContacts()
+		rep, err := e.RunWorkload(workload.Config{
+			QPS: 20, Duration: 3, Tick: 0.5,
+			Resources: 16, Replicas: 2, Scheme: scheme, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, e.Messages()
+	}
+
+	bc, bcMsgs := run(workload.Bordercast)
+	if bc.Queries == 0 || bc.Found == 0 {
+		t.Fatalf("bordercast arm served nothing: %+v", bc)
+	}
+	if bcMsgs.Query == 0 {
+		t.Error("bordercast arm recorded no query traffic")
+	}
+	if bcMsgs.Register != 0 {
+		t.Errorf("bordercast arm recorded registration traffic: %d", bcMsgs.Register)
+	}
+
+	rr, rrMsgs := run(workload.Rendezvous)
+	if rr.Queries == 0 || rr.Found == 0 {
+		t.Fatalf("rendezvous arm served nothing: %+v", rr)
+	}
+	if rrMsgs.Register == 0 {
+		t.Error("rendezvous arm recorded no registration traffic")
+	}
+	if rr.Queries != bc.Queries {
+		t.Errorf("offered load differs across arms: %d vs %d", rr.Queries, bc.Queries)
+	}
+}

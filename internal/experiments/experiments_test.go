@@ -6,7 +6,7 @@ import (
 	"strings"
 	"testing"
 
-	"card/internal/card"
+	"card/internal/scheme"
 	"card/internal/sweep"
 )
 
@@ -415,7 +415,7 @@ func TestRunSweepQuick(t *testing.T) {
 
 func TestSweepTableRendersPoints(t *testing.T) {
 	g := &sweep.Grid{Axes: []sweep.Axis{{Name: "NoC", Values: []float64{1, 2}}}}
-	res, err := g.Run(func(_ card.Config, point []float64, _ int, _ uint64) (sweep.Metrics, error) {
+	res, err := g.Run(func(_ sweep.CellConfig, point []float64, _ int, _ uint64) (sweep.Metrics, error) {
 		return sweep.Metrics{Overhead: point[0], Reach: 10 * point[0]}, nil
 	})
 	if err != nil {
@@ -463,12 +463,26 @@ func TestTablePlot(t *testing.T) {
 
 func TestRunSustainedQuick(t *testing.T) {
 	tab := RunSustained(quick())
-	if len(tab.Rows) != 3 {
-		t.Fatalf("sustained rows = %d, want 3 schemes", len(tab.Rows))
+	names := scheme.Names()
+	if len(tab.Rows) != len(names) {
+		t.Fatalf("sustained rows = %d, want %d schemes", len(tab.Rows), len(names))
 	}
-	// Rows: card, flood, ring. Columns: 1 success, 2 offline, 3 mean,
-	// 4 P50, 5 P95, 6 P99.
-	for r := range tab.Rows {
+	rowOf := func(name string) int {
+		t.Helper()
+		for r, row := range tab.Rows {
+			if row[0] == name {
+				return r
+			}
+		}
+		t.Fatalf("no sustained row for scheme %q", name)
+		return -1
+	}
+	// One row per registered scheme. Columns: 1 success, 2 offline,
+	// 3 mean, 4 P50, 5 P95, 6 P99.
+	for r, name := range names {
+		if got := rowOf(name); got != r {
+			t.Errorf("scheme %q at row %d, want registry order %d", name, got, r)
+		}
 		succ := cellFloat(t, tab, r, 1)
 		if succ <= 0 || succ > 100 {
 			t.Errorf("row %d: success %v%% out of range", r, succ)
@@ -480,23 +494,24 @@ func TestRunSustainedQuick(t *testing.T) {
 			t.Errorf("row %d: quantiles not monotone: %v/%v/%v", r, p50, p95, p99)
 		}
 	}
+	card, flood := rowOf("card"), rowOf("flood")
 	// Churn keeps some sources offline in every scheme, identically (the
 	// offered stream is shared).
 	off := cellFloat(t, tab, 0, 2)
 	if off <= 0 {
 		t.Error("churned scenario dropped no sources")
 	}
-	for r := 1; r < 3; r++ {
+	for r := 1; r < len(tab.Rows); r++ {
 		if got := cellFloat(t, tab, r, 2); got != off {
 			t.Errorf("offline %% differs across schemes: %v vs %v — streams not shared", got, off)
 		}
 	}
 	// Flooding answers everything reachable; its success cannot trail the
 	// others and its mean cost must dominate CARD's.
-	if fl, cd := cellFloat(t, tab, 1, 1), cellFloat(t, tab, 0, 1); fl < cd {
+	if fl, cd := cellFloat(t, tab, flood, 1), cellFloat(t, tab, card, 1); fl < cd {
 		t.Errorf("flood success %v%% below CARD %v%%", fl, cd)
 	}
-	if fl, cd := cellFloat(t, tab, 1, 3), cellFloat(t, tab, 0, 3); fl <= cd {
+	if fl, cd := cellFloat(t, tab, flood, 3), cellFloat(t, tab, card, 3); fl <= cd {
 		t.Errorf("flood mean cost %v not above CARD %v", fl, cd)
 	}
 }

@@ -130,9 +130,9 @@ func OverheadOverTime(p timeSimParams, seeds int) TimeSeries {
 // OverheadOverTime's direct loop seed for seed.
 func timeSeriesSweep(base card.Config, axes []sweep.Axis, seeds int, p timeSimParams) []TimeSeries {
 	g := &sweep.Grid{Base: base, Axes: axes, Seeds: seeds}
-	cells, err := sweep.RunCells(g, func(cfg card.Config, _ []float64, _ int, seed uint64) TimeSeries {
+	cells, err := sweep.RunCells(g, func(cfg sweep.CellConfig, _ []float64, _ int, seed uint64) TimeSeries {
 		sp := p
-		sp.cfg = cfg
+		sp.cfg = cfg.Proto
 		return runTimeSim(sp, seed)
 	})
 	if err != nil {
@@ -292,8 +292,8 @@ func RunFig14(o Options) *Table {
 	sc := Scenario5.Scaled(o.Scale)
 	nocs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	g := &sweep.Grid{Base: fig10Base(), Axes: []sweep.Axis{intAxis("NoC", nocs)}, Seeds: o.Seeds}
-	res, err := g.Run(func(cfg card.Config, _ []float64, _ int, seed uint64) (sweep.Metrics, error) {
-		return fig14Cell(sc, cfg, seed)
+	res, err := g.Run(func(cfg sweep.CellConfig, _ []float64, _ int, seed uint64) (sweep.Metrics, error) {
+		return fig14Cell(sc, cfg.Proto, seed)
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: fig14: %v", err))

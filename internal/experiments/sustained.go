@@ -5,11 +5,13 @@ import (
 
 	"card/internal/card"
 	"card/internal/engine"
+	"card/internal/scheme"
 	"card/internal/workload"
 )
 
-// RunSustained compares CARD against the flooding and expanding-ring
-// baselines under sustained open-loop query traffic with node churn: a
+// RunSustained compares every registered discovery scheme — CARD, the
+// flooding and expanding-ring baselines, ZRP bordercasting and Rendezvous
+// Regions — under sustained open-loop query traffic with node churn: a
 // Poisson request stream with Zipf-skewed resource popularity keeps
 // arriving while nodes move, power off and rejoin. Every scheme row is
 // offered the bit-identical request sequence (same seeds drive the same
@@ -17,12 +19,12 @@ import (
 // quantiles — not just means — are directly comparable. This is the
 // serving-scale extension of Fig. 15's one-shot comparison, and it relies
 // on the baseline fairness fixes: self-held resources answer locally at
-// zero cost under all three schemes, and dead searches charge an explicit
+// zero cost under every scheme, and dead searches charge an explicit
 // full-component flood.
 func RunSustained(o Options) *Table {
 	o.fill()
 	sc := Scenario5.Scaled(o.Scale)
-	schemes := []workload.Scheme{workload.CARD, workload.Flood, workload.ExpandingRing}
+	schemes := scheme.Names()
 	type row struct {
 		success, offline                float64
 		msgMean, msgP50, msgP95, msgP99 float64
@@ -30,7 +32,7 @@ func RunSustained(o Options) *Table {
 	}
 	cells := make([]row, len(schemes)*o.Seeds)
 	Parallel(len(cells), func(i int) {
-		scheme := schemes[i/o.Seeds]
+		arm := schemes[i/o.Seeds]
 		seed := uint64(i%o.Seeds) + 1
 		nc := engine.NetworkConfig{
 			Nodes: sc.N, Width: sc.Area.W, Height: sc.Area.H, TxRange: sc.TxRange,
@@ -41,15 +43,15 @@ func RunSustained(o Options) *Table {
 		cfg := card.Config{R: 3, MaxContactDist: 16, NoC: 5, Depth: 2, Method: card.EM, ValidatePeriod: 2}
 		e, err := engine.New(nc, cfg)
 		if err != nil {
-			panic(fmt.Sprintf("experiments: sustained %v: %v", scheme, err))
+			panic(fmt.Sprintf("experiments: sustained %v: %v", arm, err))
 		}
 		e.SelectContacts()
 		rep, err := e.RunWorkload(workload.Config{
 			QPS: 40, Duration: 15, Resources: 64, Replicas: 2, ZipfS: 0.9,
-			Scheme: scheme, Seed: seed,
+			Scheme: arm, Seed: seed,
 		})
 		if err != nil {
-			panic(fmt.Sprintf("experiments: sustained %v: %v", scheme, err))
+			panic(fmt.Sprintf("experiments: sustained %v: %v", arm, err))
 		}
 		cells[i] = row{
 			success: rep.SuccessPct,
@@ -80,7 +82,7 @@ func RunSustained(o Options) *Table {
 		"Scheme", "Success %", "Offline src %", "Msgs mean", "Msgs P50", "Msgs P95", "Msgs P99", "Hops P50", "Hops P95")
 	for i, s := range schemes {
 		r := rows[i]
-		t.Add(s.String(), r.success, r.offline, r.msgMean, r.msgP50, r.msgP95, r.msgP99, r.hopP50, r.hopP95)
+		t.Add(s, r.success, r.offline, r.msgMean, r.msgP50, r.msgP95, r.msgP99, r.hopP50, r.hopP95)
 	}
 	return t
 }

@@ -7,6 +7,14 @@
 // rebroadcast is one radio transmission, so a query costs one transmission
 // per reached node (minus the target, which answers instead of relaying).
 // The reply unicasts back along the reverse shortest path.
+//
+// Every primitive exists in two forms: the plain form accounts on the
+// network's active recorder (the serial path), and an R-suffixed form
+// accounts on an explicit [manet.Recorder]. The R forms are what the
+// scheme layer's per-worker sharding uses: each worker tallies into a
+// private Counters and flushes serially after the join, so flooding
+// queries can fan out across workers with bit-identical totals — the same
+// local-tally recipe card.Querier established.
 package flood
 
 import (
@@ -34,11 +42,24 @@ func Query(net *manet.Network, src, target NodeID, countReply bool) Result {
 	return QueryTTL(net, src, target, -1, countReply)
 }
 
+// QueryR is Query accounting on an explicit recorder.
+func QueryR(net *manet.Network, rec manet.Recorder, src, target NodeID, countReply bool) Result {
+	return QueryTTLR(net, rec, src, target, -1, countReply)
+}
+
 // QueryTTL floods at most ttl hops from src (ttl < 0 means unbounded).
 func QueryTTL(net *manet.Network, src, target NodeID, ttl int, countReply bool) Result {
-	before := net.Totals().Sum(manet.CatQuery, manet.CatReply)
+	return QueryTTLR(net, net.Recorder(), src, target, ttl, countReply)
+}
+
+// QueryTTLR is QueryTTL accounting on an explicit recorder: relays charge
+// CatQuery, the reply path (when counted) charges CatReply. The result and
+// the tallies are pure functions of the current snapshot, so concurrent
+// calls with private recorders are race-free and order-independent.
+func QueryTTLR(net *manet.Network, rec manet.Recorder, src, target NodeID, ttl int, countReply bool) Result {
 	bfs := net.Graph().BoundedBFS(src, ttl)
 	found := bfs.Dist[target] >= 0
+	var relays int64
 	for _, v := range bfs.Visited {
 		if found && v == target {
 			continue // the target answers; it does not relay
@@ -46,16 +67,17 @@ func QueryTTL(net *manet.Network, src, target NodeID, ttl int, countReply bool) 
 		if ttl >= 0 && int(bfs.Dist[v]) >= ttl {
 			continue // leaf of the bounded flood: receives, does not relay
 		}
-		net.Broadcast(manet.CatQuery)
+		relays++
 	}
-	res := Result{Found: found, PathHops: -1}
+	rec.Record(manet.CatQuery, relays)
+	res := Result{Found: found, Messages: relays, PathHops: -1}
 	if found {
 		res.PathHops = int(bfs.Dist[target])
 		if countReply {
-			net.SendHops(manet.CatReply, res.PathHops)
+			rec.Record(manet.CatReply, int64(res.PathHops))
+			res.Messages += int64(res.PathHops)
 		}
 	}
-	res.Messages = net.Totals().Sum(manet.CatQuery, manet.CatReply) - before
 	return res
 }
 
@@ -67,8 +89,13 @@ func QueryTTL(net *manet.Network, src, target NodeID, ttl int, countReply bool) 
 // Query with an unreachable proxy target, the charge depends only on src's
 // component, never on which unreachable node a caller happens to name.
 func Flood(net *manet.Network, src NodeID) Result {
+	return FloodR(net, net.Recorder(), src)
+}
+
+// FloodR is Flood accounting on an explicit recorder.
+func FloodR(net *manet.Network, rec manet.Recorder, src NodeID) Result {
 	n := int64(len(net.Graph().BFS(src).Visited))
-	net.Record(manet.CatQuery, n)
+	rec.Record(manet.CatQuery, n)
 	return Result{Found: false, Messages: n, PathHops: -1}
 }
 
@@ -79,6 +106,11 @@ func Flood(net *manet.Network, src NodeID) Result {
 // component flood. This is the deterministic dead-search cost of the
 // expanding-ring baseline, a function of src's component alone.
 func RingSweep(net *manet.Network, src NodeID, ttls []int) Result {
+	return RingSweepR(net, net.Recorder(), src, ttls)
+}
+
+// RingSweepR is RingSweep accounting on an explicit recorder.
+func RingSweepR(net *manet.Network, rec manet.Recorder, src NodeID, ttls []int) Result {
 	var total int64
 	for _, ttl := range ttls {
 		bfs := net.Graph().BoundedBFS(src, ttl)
@@ -89,7 +121,7 @@ func RingSweep(net *manet.Network, src NodeID, ttls []int) Result {
 			}
 			relays++
 		}
-		net.Record(manet.CatQuery, relays)
+		rec.Record(manet.CatQuery, relays)
 		total += relays
 	}
 	return Result{Found: false, Messages: total, PathHops: -1}
@@ -100,9 +132,17 @@ func RingSweep(net *manet.Network, src NodeID, ttls []int) Result {
 // fails. The paper's §III.C.4 contrasts CARD's directed escalation against
 // exactly this mechanism.
 func ExpandingRing(net *manet.Network, src, target NodeID, ttls []int, countReply bool) Result {
+	return ExpandingRingR(net, net.Recorder(), src, target, ttls, countReply)
+}
+
+// ExpandingRingR is ExpandingRing accounting on an explicit recorder. Each
+// failed ring charges its own relays exactly once; the final successful
+// ring charges its relays plus (when counted) the reply path, and the
+// returned Messages is the cumulative escalation cost.
+func ExpandingRingR(net *manet.Network, rec manet.Recorder, src, target NodeID, ttls []int, countReply bool) Result {
 	var total int64
 	for i, ttl := range ttls {
-		r := QueryTTL(net, src, target, ttl, countReply)
+		r := QueryTTLR(net, rec, src, target, ttl, countReply)
 		total += r.Messages
 		if r.Found {
 			r.Messages = total

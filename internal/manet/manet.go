@@ -62,11 +62,12 @@ const (
 	CatRecovery                  // local-recovery lookups and splices
 	CatQuery                     // resource query hops (DSQ / flood / bordercast)
 	CatReply                     // reply-path hops
+	CatRegister                  // rendezvous registration hops and region floods
 	numCategories
 )
 
 var categoryNames = [numCategories]string{
-	"dsdv", "csq", "backtrack", "validate", "recovery", "query", "reply",
+	"dsdv", "csq", "backtrack", "validate", "recovery", "query", "reply", "register",
 }
 
 func (c Category) String() string {
@@ -232,6 +233,13 @@ func (n *Network) Graph() *topology.Graph { return n.graph }
 
 // TxRange returns the radio range in meters.
 func (n *Network) TxRange() float64 { return n.txRange }
+
+// Position returns node u's position in the current snapshot. Valid until
+// the next refresh; down nodes keep a position while holding no links.
+func (n *Network) Position(u NodeID) geom.Point { return n.pos[u] }
+
+// Area returns the deployment area the mobility model covers.
+func (n *Network) Area() geom.Rect { return n.model.Area() }
 
 // TopologyMode returns how this network recomputes snapshots.
 func (n *Network) TopologyMode() TopologyMode { return n.mode }

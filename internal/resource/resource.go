@@ -111,6 +111,19 @@ func (d *Directory) Holders(id ID) []NodeID {
 	return hs
 }
 
+// IDs returns every registered resource id in ascending order. The sorted
+// copy is the deterministic iteration surface over the holder map — scheme
+// setup passes (rendezvous registration) walk it instead of ranging the
+// map directly.
+func (d *Directory) IDs() []ID {
+	ids := make([]ID, 0, len(d.holders))
+	for id := range d.holders {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // Hosted returns the resources node u holds (copy).
 func (d *Directory) Hosted(u NodeID) []ID {
 	return append([]ID(nil), d.hosted[u]...)
@@ -200,6 +213,13 @@ func discoverCARD(nb neighborhood.Provider, query func(src, dst NodeID) card.Que
 // is component-sized regardless of replication, while the reply comes from
 // the nearest holder.
 func DiscoverFlood(net *manet.Network, d *Directory, src NodeID, id ID) Result {
+	return DiscoverFloodR(net, net.Recorder(), d, src, id)
+}
+
+// DiscoverFloodR is DiscoverFlood accounting on an explicit recorder —
+// the per-worker form the scheme layer shards with (tally locally, flush
+// serially after the join, exactly like card.Querier).
+func DiscoverFloodR(net *manet.Network, rec manet.Recorder, d *Directory, src NodeID, id ID) Result {
 	holders := d.holders[id]
 	if len(holders) == 0 {
 		return Result{Found: false, PathHops: -1}
@@ -223,16 +243,22 @@ func DiscoverFlood(net *manet.Network, d *Directory, src NodeID, id ID) Result {
 		// unicast-style query toward holders[0] as a proxy destination)
 		// makes the dead-search cost a function of the topology alone,
 		// identical under any holder insertion order.
-		r := flood.Flood(net, src)
+		r := flood.FloodR(net, rec, src)
 		return Result{Found: false, Messages: r.Messages, PathHops: -1}
 	}
-	r := flood.Query(net, src, nearest, true)
+	r := flood.QueryR(net, rec, src, nearest, true)
 	return Result{Found: r.Found, Holder: nearest, Messages: r.Messages, PathHops: r.PathHops}
 }
 
 // DiscoverExpandingRing finds a holder via TTL-doubling floods, stopping
 // at the ring that first covers a holder — the classical anycast baseline.
 func DiscoverExpandingRing(net *manet.Network, d *Directory, src NodeID, id ID) Result {
+	return DiscoverExpandingRingR(net, net.Recorder(), d, src, id)
+}
+
+// DiscoverExpandingRingR is DiscoverExpandingRing accounting on an
+// explicit recorder (see DiscoverFloodR).
+func DiscoverExpandingRingR(net *manet.Network, rec manet.Recorder, d *Directory, src NodeID, id ID) Result {
 	holders := d.holders[id]
 	if len(holders) == 0 {
 		return Result{Found: false, PathHops: -1}
@@ -253,10 +279,10 @@ func DiscoverExpandingRing(net *manet.Network, d *Directory, src NodeID, id ID) 
 		// No reachable holder: the escalation runs its full TTL schedule
 		// and dies. RingSweep charges exactly that, as a function of src's
 		// component alone — no proxy holder destination involved.
-		r := flood.RingSweep(net, src, flood.DoublingTTLs(64))
+		r := flood.RingSweepR(net, rec, src, flood.DoublingTTLs(64))
 		return Result{Found: false, Messages: r.Messages, PathHops: -1}
 	}
-	r := flood.ExpandingRing(net, src, nearest, flood.DoublingTTLs(64), true)
+	r := flood.ExpandingRingR(net, rec, src, nearest, flood.DoublingTTLs(64), true)
 	return Result{Found: r.Found, Holder: nearest, Messages: r.Messages, PathHops: r.PathHops}
 }
 

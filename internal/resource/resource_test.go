@@ -401,3 +401,91 @@ func BenchmarkPlaceReplicas(b *testing.B) {
 		d.PlaceReplicas(ID(i), k, rng)
 	}
 }
+
+// lineNet builds a 4-node line 0—1—2—3 (60 m spacing, 70 m range) with a
+// fifth isolated node far to the right. Distances from node 0 are exactly
+// 1, 2, 3 hops — small enough to hand-compute TTL-escalation charges.
+func lineNet() *manet.Network {
+	a := geom.Rect{W: 1100, H: 50}
+	pts := []geom.Point{
+		{X: 0, Y: 10}, {X: 60, Y: 10}, {X: 120, Y: 10}, {X: 180, Y: 10},
+		{X: 1000, Y: 10}, // isolated
+	}
+	return manet.New(mobility.NewStatic(pts, a), 70, xrand.New(1))
+}
+
+// TestExpandingRingAccountingHandComputed pins the per-ring charges of
+// the TTL escalation on a hand-computed line: src 0 queries the holder at
+// node 3, three hops out. The doubling schedule tries TTL 1 (1 relay),
+// TTL 2 (2 relays), then TTL 4, which covers the holder: 3 relays (the
+// answering holder does not relay) plus a 3-hop reply. Each ring is
+// charged exactly once, and the successful final ring is not
+// double-counted: 1 + 2 + 3 query relays and 3 reply hops, 9 messages
+// total.
+func TestExpandingRingAccountingHandComputed(t *testing.T) {
+	net := lineNet()
+	d := NewDirectory(net.N())
+	d.Place(7, 3)
+	var rec manet.Counters
+	r := DiscoverExpandingRingR(net, &rec, d, 0, 7)
+	if !r.Found || r.Holder != 3 || r.PathHops != 3 {
+		t.Fatalf("result = %+v, want holder 3 at 3 hops", r)
+	}
+	if r.Messages != 9 {
+		t.Errorf("Messages = %d, want 9 (rings 1+2+3 + reply 3)", r.Messages)
+	}
+	if q := rec.Get(manet.CatQuery); q != 6 {
+		t.Errorf("CatQuery = %d, want 6 (1+2+3, each ring charged once)", q)
+	}
+	if p := rec.Get(manet.CatReply); p != 3 {
+		t.Errorf("CatReply = %d, want 3 (one reply along the route)", p)
+	}
+	// The recorder and the result must agree — the final ring's relays
+	// and the reply appear in both exactly once.
+	if total := rec.Total(); total != r.Messages {
+		t.Errorf("recorder total %d != result messages %d", total, r.Messages)
+	}
+}
+
+// TestExpandingRingDeadSearchAccountingHandComputed pins the escalation
+// cost when no holder is reachable: the full doubling schedule runs over
+// src's 4-node component. Rings TTL 1, 2 charge 1 and 2 relays; every
+// ring from TTL 4 up covers the whole component (4 relays each, the
+// TTL-less terminal flood included): 1+2+4+4+4+4+4 = 23, all CatQuery.
+func TestExpandingRingDeadSearchAccountingHandComputed(t *testing.T) {
+	net := lineNet()
+	d := NewDirectory(net.N())
+	d.Place(7, 4) // only holder is the isolated node
+	var rec manet.Counters
+	r := DiscoverExpandingRingR(net, &rec, d, 0, 7)
+	if r.Found || r.PathHops != -1 {
+		t.Fatalf("result = %+v, want failed search", r)
+	}
+	if r.Messages != 23 {
+		t.Errorf("Messages = %d, want 23 (1+2+4+4+4+4+4)", r.Messages)
+	}
+	if q := rec.Get(manet.CatQuery); q != 23 {
+		t.Errorf("CatQuery = %d, want 23", q)
+	}
+	if p := rec.Get(manet.CatReply); p != 0 {
+		t.Errorf("CatReply = %d, want 0 (no reply on a dead search)", p)
+	}
+}
+
+// TestExpandingRingRecorderMatchesResult cross-checks the escalation
+// accounting on a realistic topology: for every (src, holder distance)
+// the recorder delta equals Result.Messages — rings are never charged
+// twice and never dropped.
+func TestExpandingRingRecorderMatchesResult(t *testing.T) {
+	net := testNet(3, 120)
+	d := NewDirectory(net.N())
+	d.Place(1, 100)
+	for src := 0; src < 40; src++ {
+		var rec manet.Counters
+		r := DiscoverExpandingRingR(net, &rec, d, NodeID(src), 1)
+		if got := rec.Total(); got != r.Messages {
+			t.Fatalf("src %d: recorder delta %d != result messages %d (found=%v)",
+				src, got, r.Messages, r.Found)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Adapters wrapping the existing discovery mechanisms — CARD, flooding,
+// expanding ring, bordercast — onto the DiscoveryScheme interface. Each
+// worker owns private tallies and scratch; Flush drains them into the
+// network's shared recorder.
+package scheme
+
+import (
+	"fmt"
+
+	"card/internal/bordercast"
+	"card/internal/card"
+	"card/internal/manet"
+	"card/internal/resource"
+)
+
+// --- card ---
+
+// cardScheme rides the CARD protocol: workers wrap card.Querier, which
+// already implements the local-tally/serial-flush contract. Maintenance
+// (DSDV rounds, contact validation) belongs to the protocol's own clock,
+// so Maintain is a no-op here.
+type cardScheme struct{ env Env }
+
+func newCard(env Env) (DiscoveryScheme, error) {
+	if env.Prot == nil {
+		return nil, fmt.Errorf("scheme card: Env needs Prot")
+	}
+	return &cardScheme{env: env}, nil
+}
+
+func (s *cardScheme) Name() string         { return "card" }
+func (s *cardScheme) Setup()               {}
+func (s *cardScheme) Maintain(now float64) {}
+func (s *cardScheme) Worker() Worker {
+	return &cardWorker{dir: s.env.Dir, q: s.env.Prot.NewQuerier()}
+}
+
+type cardWorker struct {
+	dir *resource.Directory
+	q   *card.Querier
+}
+
+func (w *cardWorker) Discover(src NodeID, id resource.ID) resource.Result {
+	return resource.DiscoverCARDWith(w.q, w.dir, src, id)
+}
+func (w *cardWorker) Flush() { w.q.Flush() }
+
+// --- flood / ring ---
+
+// floodScheme and ringScheme are stateless: no setup, no maintenance.
+// Workers tally into a private Counters via the R-form discovery calls.
+type floodScheme struct{ env Env }
+
+func newFlood(env Env) (DiscoveryScheme, error) { return &floodScheme{env: env}, nil }
+
+func (s *floodScheme) Name() string         { return "flood" }
+func (s *floodScheme) Setup()               {}
+func (s *floodScheme) Maintain(now float64) {}
+func (s *floodScheme) Worker() Worker {
+	return &floodWorker{net: s.env.Net, dir: s.env.Dir}
+}
+
+type floodWorker struct {
+	net  *manet.Network
+	dir  *resource.Directory
+	pend manet.Counters
+}
+
+func (w *floodWorker) Discover(src NodeID, id resource.ID) resource.Result {
+	return resource.DiscoverFloodR(w.net, &w.pend, w.dir, src, id)
+}
+func (w *floodWorker) Flush() {
+	w.pend.AddTo(w.net.Recorder())
+	w.pend.Reset()
+}
+
+type ringScheme struct{ env Env }
+
+func newRing(env Env) (DiscoveryScheme, error) { return &ringScheme{env: env}, nil }
+
+func (s *ringScheme) Name() string         { return "ring" }
+func (s *ringScheme) Setup()               {}
+func (s *ringScheme) Maintain(now float64) {}
+func (s *ringScheme) Worker() Worker {
+	return &ringWorker{net: s.env.Net, dir: s.env.Dir}
+}
+
+type ringWorker struct {
+	net  *manet.Network
+	dir  *resource.Directory
+	pend manet.Counters
+}
+
+func (w *ringWorker) Discover(src NodeID, id resource.ID) resource.Result {
+	return resource.DiscoverExpandingRingR(w.net, &w.pend, w.dir, src, id)
+}
+func (w *ringWorker) Flush() {
+	w.pend.AddTo(w.net.Recorder())
+	w.pend.Reset()
+}
+
+// --- bordercast ---
+
+// bordercastScheme runs ZRP bordercasting as an anycast: a query targets
+// the nearest reachable holder (ties to the lowest id, so the outcome is
+// invariant under holder insertion order). The zone radius reuses CARD's
+// neighborhood radius R — the same proactive substrate, exactly as the
+// paper's comparison sets it up. The Protocol holds no per-query state,
+// so one shared instance serves every worker.
+type bordercastScheme struct {
+	env Env
+	bc  *bordercast.Protocol
+}
+
+func newBordercast(env Env) (DiscoveryScheme, error) {
+	if env.Prot == nil {
+		return nil, fmt.Errorf("scheme bordercast: Env needs Prot (zone = neighborhood radius)")
+	}
+	nb := env.Prot.Neighborhood()
+	bc, err := bordercast.New(env.Net, nb, bordercast.Config{Zone: nb.R(), QD: bordercast.QD2})
+	if err != nil {
+		return nil, fmt.Errorf("scheme bordercast: %w", err)
+	}
+	return &bordercastScheme{env: env, bc: bc}, nil
+}
+
+func (s *bordercastScheme) Name() string         { return "bordercast" }
+func (s *bordercastScheme) Setup()               {}
+func (s *bordercastScheme) Maintain(now float64) {}
+func (s *bordercastScheme) Worker() Worker {
+	return &bordercastWorker{net: s.env.Net, dir: s.env.Dir, bc: s.bc}
+}
+
+type bordercastWorker struct {
+	net  *manet.Network
+	dir  *resource.Directory
+	bc   *bordercast.Protocol
+	pend manet.Counters
+}
+
+func (w *bordercastWorker) Discover(src NodeID, id resource.ID) resource.Result {
+	holders := w.dir.Holders(id)
+	if len(holders) == 0 {
+		return resource.Result{Found: false, PathHops: -1}
+	}
+	for _, h := range holders {
+		if h == src {
+			return resource.Result{Found: true, Holder: src, PathHops: 0}
+		}
+	}
+	bfs := w.net.Graph().BFS(src)
+	nearest := NodeID(-1)
+	bestDist := int32(1 << 30)
+	for _, h := range holders {
+		if bfs.Dist[h] >= 0 && bfs.Dist[h] < bestDist {
+			bestDist = bfs.Dist[h]
+			nearest = h
+		}
+	}
+	if nearest < 0 {
+		// No reachable holder: the cascade runs dry over src's component.
+		// The cost is target-independent, so the lowest-id holder serves as
+		// the nominal (unreachable) destination.
+		r := w.bc.QueryR(&w.pend, src, holders[0])
+		return resource.Result{Found: false, Messages: r.Messages, PathHops: -1}
+	}
+	r := w.bc.QueryR(&w.pend, src, nearest)
+	return resource.Result{Found: r.Found, Holder: nearest, Messages: r.Messages, PathHops: r.PathHops}
+}
+
+func (w *bordercastWorker) Flush() {
+	w.pend.AddTo(w.net.Recorder())
+	w.pend.Reset()
+}

@@ -1,0 +1,19 @@
+package scheme_test
+
+import (
+	"testing"
+
+	"card/internal/scheme"
+	"card/internal/scheme/schemetest"
+)
+
+// TestConformance subjects every registered scheme to the cross-scheme
+// conformance bench. A scheme that registers and fails here is broken by
+// definition — the engine, workload and sweep layers assume these
+// invariants.
+func TestConformance(t *testing.T) {
+	for _, name := range scheme.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) { schemetest.RunConformance(t, name) })
+	}
+}

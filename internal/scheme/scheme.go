@@ -1,0 +1,155 @@
+// Package scheme turns resource discovery into a pluggable layer: every
+// mechanism the repo can compare — CARD's contact architecture, the
+// flooding and expanding-ring baselines, ZRP bordercasting, Rendezvous
+// Regions — implements one DiscoveryScheme interface, and the engine,
+// workload, sweep and experiment layers consume the interface instead of
+// hardwired per-scheme arms. Registering a new scheme makes it appear in
+// every sweep grid, the sustained-traffic experiment and `cardsim
+// -scheme` for free, and subjects it to the cross-scheme conformance
+// suite (schemetest).
+//
+// # Accounting and the sharding contract
+//
+// Workers mirror the card.Querier idiom: each worker owns private message
+// tallies (a manet.Counters) and scratch, Discover never mutates shared
+// scheme state, and Flush adds the local tallies to the network's shared
+// recorder — called serially, in worker order, after the batch joins.
+// Because per-query results are pure functions of the snapshot and
+// category sums are commutative, the outcome stream and the recorder
+// totals are bit-identical between serial and sharded execution at any
+// GOMAXPROCS, for every scheme. Setup and Maintain run on the serial
+// driver loop between ticks and account directly on the shared recorder.
+package scheme
+
+import (
+	"fmt"
+	"sort"
+
+	"card/internal/card"
+	"card/internal/manet"
+	"card/internal/resource"
+	"card/internal/topology"
+)
+
+// NodeID aliases the topology node index type.
+type NodeID = topology.NodeID
+
+// Env is everything a scheme instance binds to: one simulation's network
+// substrate, CARD protocol instance (for schemes that ride the contact or
+// neighborhood state) and resource directory. A scheme instance lives for
+// one run; build a fresh one per simulation.
+type Env struct {
+	// Net is the network substrate (required).
+	Net *manet.Network
+	// Prot is the CARD protocol instance. Required by the card and
+	// bordercast schemes (bordercast reuses the R-hop neighborhood as its
+	// zone); the flooding and rendezvous schemes ignore it.
+	Prot *card.Protocol
+	// Dir is the resource directory queries resolve against (required).
+	Dir *resource.Directory
+	// Seed decorrelates any scheme-internal randomness from the driver's
+	// streams. The built-in schemes are deterministic and ignore it.
+	Seed uint64
+	// RegionsPerSide overrides the rendezvous region grid edge (K regions
+	// per side, K² regions). 0 sizes the grid from the deployment area and
+	// radio range.
+	RegionsPerSide int
+}
+
+func (e Env) validate(name string) error {
+	if e.Net == nil || e.Dir == nil {
+		return fmt.Errorf("scheme %s: Env needs Net and Dir", name)
+	}
+	return nil
+}
+
+// DiscoveryScheme is one constructed discovery mechanism. Setup and
+// Maintain mutate scheme state and account on the shared recorder; they
+// run on the serial driver loop. Worker hands out per-worker query state
+// for the sharded fan-out.
+type DiscoveryScheme interface {
+	// Name returns the registered scheme name.
+	Name() string
+	// Setup runs one-time registration after the directory is placed
+	// (rendezvous registration floods; a no-op for stateless schemes).
+	Setup()
+	// Maintain runs the scheme's per-tick maintenance at simulation time
+	// now — re-registration after region exit or churn. The driver calls
+	// it after advancing the clock, before the tick's queries.
+	Maintain(now float64)
+	// Worker returns a new query worker with private accounting. Workers
+	// are valid for the lifetime of the scheme; reuse them across ticks.
+	Worker() Worker
+}
+
+// Worker is the per-worker query surface: Discover resolves one query,
+// tallying messages locally; Flush adds the local tallies to the shared
+// recorder. Call Flush serially, in worker order, after the batch joins.
+type Worker interface {
+	Discover(src NodeID, id resource.ID) resource.Result
+	Flush()
+}
+
+// Factory builds a scheme instance over an environment.
+type Factory func(env Env) (DiscoveryScheme, error)
+
+// builtins is the static registry; extensions register at init time.
+var builtins = map[string]Factory{
+	"card":       newCard,
+	"flood":      newFlood,
+	"ring":       newRing,
+	"bordercast": newBordercast,
+	"rendezvous": newRendezvous,
+}
+
+// Register adds a scheme factory under name. Registering over a built-in
+// or an already-registered name is a programming error.
+func Register(name string, f Factory) error {
+	if name == "" || f == nil {
+		return fmt.Errorf("scheme: empty name or nil factory")
+	}
+	if _, dup := builtins[name]; dup {
+		return fmt.Errorf("scheme: %q already registered", name)
+	}
+	builtins[name] = f
+	return nil
+}
+
+// Names lists the registered scheme names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builtins))
+	for name := range builtins {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Known reports whether name resolves to a registered scheme ("" resolves
+// to the default, card).
+func Known(name string) bool {
+	_, ok := builtins[Canon(name)]
+	return ok
+}
+
+// Canon resolves the empty scheme name to the default, "card".
+func Canon(name string) string {
+	if name == "" {
+		return "card"
+	}
+	return name
+}
+
+// New builds the named scheme over env. The empty name builds the default
+// CARD scheme.
+func New(name string, env Env) (DiscoveryScheme, error) {
+	canon := Canon(name)
+	f, ok := builtins[canon]
+	if !ok {
+		return nil, fmt.Errorf("scheme: unknown scheme %q (have %v)", name, Names())
+	}
+	if err := env.validate(canon); err != nil {
+		return nil, err
+	}
+	return f(env)
+}

@@ -1,8 +1,9 @@
 package sweep
 
 import (
-	proto "card/internal/card"
 	"card/internal/engine"
+	"card/internal/resource"
+	"card/internal/scheme"
 	"card/internal/stats"
 	"card/internal/xrand"
 )
@@ -32,21 +33,33 @@ type EngineRunner struct {
 	// Queries is the batched query-load size per cell (0 = skip the
 	// query phase; Success/Msgs/Hops stay zero).
 	Queries int
+	// Resources and Replicas shape the catalogue cells with a named
+	// discovery scheme place before querying (defaults 64 and 1). Cells
+	// with the empty scheme run the legacy node-discovery batch instead
+	// and ignore both.
+	Resources int
+	Replicas  int
 	// Seed is the sweep's root seed; cell streams derive from it.
 	Seed uint64
 }
 
-// Run implements Runner.
-func (er EngineRunner) Run(cfg proto.Config, _ []float64, pointIdx int, seed uint64) (Metrics, error) {
+// Run implements Runner. A cell with a named discovery scheme resolves a
+// replicated resource catalogue through that scheme (the scheme axis
+// path); a cell with the empty scheme runs the legacy CARD node-discovery
+// batch, bit-identical to pre-scheme sweeps.
+func (er EngineRunner) Run(cfg CellConfig, _ []float64, pointIdx int, seed uint64) (Metrics, error) {
 	nc := er.Net
 	nc.Seed = xrand.New(er.Seed).StreamSeed(uint64(pointIdx), seed)
-	e, err := engine.New(nc, cfg)
+	e, err := engine.New(nc, cfg.Proto)
 	if err != nil {
 		return Metrics{}, err
 	}
 	e.SelectContacts()
 	if er.Horizon > 0 {
 		e.Advance(er.Horizon)
+	}
+	if cfg.Scheme != "" {
+		return er.runScheme(e, cfg, nc.Seed)
 	}
 	var out Metrics
 	m := e.Messages()
@@ -79,6 +92,68 @@ func (er EngineRunner) Run(cfg proto.Config, _ []float64, pointIdx int, seed uin
 			out.Msgs = winMsgs.Summary()
 			out.Hops = winHops.Summary()
 		}
+	}
+	return out, nil
+}
+
+// runScheme measures a scheme-axis cell: place the replicated catalogue,
+// run the scheme's registration (rendezvous charges CatRegister here),
+// fold registration into the overhead rate, then resolve the query load
+// through one scheme worker. Draws come from the cell seed's pairSalt
+// substream, so the offered (source, resource) sequence is identical for
+// every scheme at the same cell coordinates — the cross-scheme fairness
+// the sustained workload pins, reproduced at sweep-cell scale.
+func (er EngineRunner) runScheme(e *engine.Engine, cfg CellConfig, cellSeed uint64) (Metrics, error) {
+	root := xrand.New(cellSeed ^ pairSalt)
+	place := root.Derive(0)
+	draws := root.Derive(1)
+	n := e.Nodes()
+	resources, replicas := er.Resources, er.Replicas
+	if resources <= 0 {
+		resources = 64
+	}
+	if replicas <= 0 {
+		replicas = 1
+	}
+	dir := resource.NewDirectory(n)
+	for id := 0; id < resources; id++ {
+		dir.PlaceReplicas(resource.ID(id), replicas, place)
+	}
+	sch, err := scheme.New(cfg.Scheme, scheme.Env{Net: e.Network(), Prot: e.Protocol(), Dir: dir, Seed: cellSeed})
+	if err != nil {
+		return Metrics{}, err
+	}
+	sch.Setup()
+	var out Metrics
+	m := e.Messages()
+	out.Overhead = float64(m.Selection+m.Backtrack+m.Validation+m.Recovery+m.Register) / float64(n)
+	if er.Horizon > 0 {
+		out.Overhead /= er.Horizon
+	}
+	out.Reach = e.MeanReachability(e.Config().Depth)
+	if er.Queries > 0 {
+		w := sch.Worker()
+		winMsgs := stats.NewWindow(er.Queries)
+		winHops := stats.NewWindow(er.Queries)
+		found := 0
+		net := e.Network()
+		for q := 0; q < er.Queries; q++ {
+			src := scheme.NodeID(draws.Intn(n))
+			id := resource.ID(draws.Intn(resources))
+			if net.Down(src) {
+				continue // offered but unservable; a failure with no traffic
+			}
+			r := w.Discover(src, id)
+			winMsgs.Add(float64(r.Messages))
+			if r.Found {
+				found++
+				winHops.Add(float64(r.PathHops))
+			}
+		}
+		w.Flush()
+		out.Success = 100 * float64(found) / float64(er.Queries)
+		out.Msgs = winMsgs.Summary()
+		out.Hops = winHops.Summary()
 	}
 	return out, nil
 }

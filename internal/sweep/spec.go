@@ -7,14 +7,15 @@ import (
 	"strings"
 
 	proto "card/internal/card"
+	"card/internal/scheme"
 )
 
 // axisDef describes one sweepable configuration field: how to apply a
-// value to a card.Config, how to validate it, and how to render it.
+// value to a CellConfig, how to validate it, and how to render it.
 type axisDef struct {
 	canon  string
 	check  func(v float64) error
-	apply  func(c *proto.Config, v float64) error
+	apply  func(c *CellConfig, v float64) error
 	render func(v float64) string
 }
 
@@ -39,22 +40,22 @@ var axisDefs = []axisDef{
 	{
 		canon: "R",
 		check: intCheck("R", 1),
-		apply: func(c *proto.Config, v float64) error { c.R = int(v); return nil },
+		apply: func(c *CellConfig, v float64) error { c.Proto.R = int(v); return nil },
 	},
 	{
 		canon: "r",
 		check: intCheck("r", 2),
-		apply: func(c *proto.Config, v float64) error { c.MaxContactDist = int(v); return nil },
+		apply: func(c *CellConfig, v float64) error { c.Proto.MaxContactDist = int(v); return nil },
 	},
 	{
 		canon: "NoC",
 		check: intCheck("NoC", 0),
-		apply: func(c *proto.Config, v float64) error { c.NoC = int(v); return nil },
+		apply: func(c *CellConfig, v float64) error { c.Proto.NoC = int(v); return nil },
 	},
 	{
 		canon: "D",
 		check: intCheck("D", 1),
-		apply: func(c *proto.Config, v float64) error { c.Depth = int(v); return nil },
+		apply: func(c *CellConfig, v float64) error { c.Proto.Depth = int(v); return nil },
 	},
 	{
 		canon: "Method",
@@ -64,7 +65,7 @@ var axisDefs = []axisDef{
 			}
 			return nil
 		},
-		apply:  func(c *proto.Config, v float64) error { c.Method = proto.Method(v); return nil },
+		apply:  func(c *CellConfig, v float64) error { c.Proto.Method = proto.Method(v); return nil },
 		render: func(v float64) string { return proto.Method(v).String() },
 	},
 	{
@@ -75,7 +76,20 @@ var axisDefs = []axisDef{
 			}
 			return nil
 		},
-		apply: func(c *proto.Config, v float64) error { c.ValidatePeriod = v; return nil },
+		apply: func(c *CellConfig, v float64) error { c.Proto.ValidatePeriod = v; return nil },
+	},
+	{
+		canon: "Scheme",
+		check: func(v float64) error {
+			if v != math.Trunc(v) || v < 0 || int(v) >= len(scheme.Names()) {
+				return fmt.Errorf("sweep: axis Scheme takes one of %v, got %g", scheme.Names(), v)
+			}
+			return nil
+		},
+		// Scheme values are indices into the sorted scheme registry
+		// (scheme.Names()) as of parse time; ParseSpec accepts the names.
+		apply:  func(c *CellConfig, v float64) error { c.Scheme = scheme.Names()[int(v)]; return nil },
+		render: func(v float64) string { return scheme.Names()[int(v)] },
 	},
 }
 
@@ -88,6 +102,7 @@ var axisAliases = map[string]string{
 	"method":         "Method",
 	"vp":             "VP",
 	"validateperiod": "VP",
+	"scheme":         "Scheme",
 }
 
 // canonAxis resolves an axis name to its definition.
@@ -116,11 +131,14 @@ func canonAxis(name string) (axisDef, error) {
 // ParseSpec parses a grid specification: semicolon-separated axes, each
 // "name=values" where values are either an inclusive range "a..b" (step
 // 1) or "a..b..step", or a comma list "v1,v2,v3". The Method axis accepts
-// the protocol names EM, PM1, PM2. Examples:
+// the protocol names EM, PM1, PM2; the Scheme axis accepts registered
+// discovery-scheme names (card, flood, ring, bordercast, rendezvous).
+// Examples:
 //
 //	NoC=1..10;r=6..20
 //	r=8..16..2;Method=EM,PM2
 //	R=2,3;NoC=2..8..2;D=1..3
+//	Scheme=card,rendezvous;NoC=1..4
 //
 // Axis names R and r are case-sensitive (neighborhood radius vs max
 // contact distance); everything else is case-insensitive.
@@ -214,7 +232,8 @@ func parseRange(d axisDef, s string) ([]float64, error) {
 	return out, nil
 }
 
-// parseValue parses one scalar, accepting method names on the Method axis.
+// parseValue parses one scalar, accepting method names on the Method axis
+// and registered scheme names on the Scheme axis.
 func parseValue(d axisDef, s string) (float64, error) {
 	if d.canon == "Method" {
 		switch strings.ToUpper(s) {
@@ -224,6 +243,13 @@ func parseValue(d axisDef, s string) (float64, error) {
 			return float64(proto.PM1), nil
 		case "PM2":
 			return float64(proto.PM2), nil
+		}
+	}
+	if d.canon == "Scheme" {
+		for i, name := range scheme.Names() {
+			if strings.EqualFold(s, name) {
+				return float64(i), nil
+			}
 		}
 	}
 	v, err := strconv.ParseFloat(s, 64)

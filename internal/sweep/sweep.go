@@ -1,9 +1,10 @@
 // Package sweep is the generic parameter-study engine: it spans a grid
 // over the CARD configuration axes (R, r, NoC, depth of search, selection
-// method, validation period) times independent seeds, runs every cell as
-// an isolated simulation, and aggregates the overhead-vs-reachability
-// trade-off the paper's evaluation revolves around — including the Pareto
-// frontier of non-dominated configurations.
+// method, validation period) and the discovery-scheme axis (any name
+// registered with the scheme package) times independent seeds, runs every
+// cell as an isolated simulation, and aggregates the
+// overhead-vs-reachability trade-off the paper's evaluation revolves
+// around — including the Pareto frontier of non-dominated configurations.
 //
 // # Cell isolation and determinism
 //
@@ -31,6 +32,7 @@ import (
 
 	proto "card/internal/card"
 	"card/internal/par"
+	"card/internal/scheme"
 	"card/internal/stats"
 )
 
@@ -58,6 +60,9 @@ type Grid struct {
 	// Base is the configuration every cell starts from; axis values are
 	// applied on top.
 	Base proto.Config
+	// Scheme is the discovery scheme every cell starts from ("" keeps the
+	// runner's legacy default); a Scheme axis overrides it per point.
+	Scheme string
 	// Axes are the swept parameters; the last axis varies fastest in the
 	// point enumeration. An empty Axes is a single-point grid.
 	Axes []Axis
@@ -77,6 +82,9 @@ const maxCells = 100_000
 func (g *Grid) Validate() error {
 	if g.Seeds <= 0 {
 		g.Seeds = 1
+	}
+	if g.Scheme != "" && !scheme.Known(g.Scheme) {
+		return fmt.Errorf("sweep: unknown scheme %q (have %v)", g.Scheme, scheme.Names())
 	}
 	seen := make(map[string]bool, len(g.Axes))
 	for i, a := range g.Axes {
@@ -128,12 +136,23 @@ func (g *Grid) Point(idx int) []float64 {
 	return vals
 }
 
-// Config materializes the cell configuration of a point: Base with the
-// axis values applied. Cross-field consistency (e.g. r > R) is checked by
-// the consumer's Config.Validate, so a grid may legally span points that
-// turn out invalid — those cells surface the validation error.
-func (g *Grid) Config(point []float64) (proto.Config, error) {
-	cfg := g.Base
+// CellConfig is the full per-cell configuration a sweep materializes: the
+// CARD protocol parameters plus the discovery scheme the cell's queries
+// run through ("" leaves the runner's legacy default in charge).
+type CellConfig struct {
+	// Proto is the CARD protocol configuration of the cell.
+	Proto proto.Config
+	// Scheme names the discovery scheme of the cell (see scheme.Names).
+	Scheme string
+}
+
+// Config materializes the cell configuration of a point: Base (and the
+// base Scheme) with the axis values applied. Cross-field consistency
+// (e.g. r > R) is checked by the consumer's Config.Validate, so a grid
+// may legally span points that turn out invalid — those cells surface the
+// validation error.
+func (g *Grid) Config(point []float64) (CellConfig, error) {
+	cfg := CellConfig{Proto: g.Base, Scheme: g.Scheme}
 	for i, a := range g.Axes {
 		d, err := canonAxis(a.Name)
 		if err != nil {
@@ -153,14 +172,14 @@ func (g *Grid) Config(point []float64) (proto.Config, error) {
 // from them); results are then bit-identical at any worker count. This is
 // the generic layer the figure sweeps use for time-series cells; scalar
 // studies use Grid.Run on top.
-func RunCells[M any](g *Grid, cell func(cfg proto.Config, point []float64, pointIdx int, seed uint64) M) ([]M, error) {
+func RunCells[M any](g *Grid, cell func(cfg CellConfig, point []float64, pointIdx int, seed uint64) M) ([]M, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	points := g.Points()
 	// Materialize configs up front: spec-level errors surface before any
 	// simulation spins up, and workers share read-only state.
-	cfgs := make([]proto.Config, points)
+	cfgs := make([]CellConfig, points)
 	pts := make([][]float64, points)
 	for p := 0; p < points; p++ {
 		pts[p] = g.Point(p)
@@ -200,7 +219,7 @@ type Metrics struct {
 
 // Runner computes one cell's scalar metrics. Implementations must derive
 // all randomness from (pointIdx, seed) — see EngineRunner for the default.
-type Runner func(cfg proto.Config, point []float64, pointIdx int, seed uint64) (Metrics, error)
+type Runner func(cfg CellConfig, point []float64, pointIdx int, seed uint64) (Metrics, error)
 
 // Cell is one executed (point, seed) run.
 type Cell struct {
@@ -235,7 +254,7 @@ func (g *Grid) Run(run Runner) (*Result, error) {
 		m   Metrics
 		err error
 	}
-	cells, err := RunCells(g, func(cfg proto.Config, point []float64, pointIdx int, seed uint64) outcome {
+	cells, err := RunCells(g, func(cfg CellConfig, point []float64, pointIdx int, seed uint64) outcome {
 		m, err := run(cfg, point, pointIdx, seed)
 		return outcome{m, err}
 	})

@@ -44,7 +44,7 @@ func TestParseSpecCaseRules(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.R != 3 || c.MaxContactDist != 10 || c.Depth != 2 || c.ValidatePeriod != 0.5 {
+	if c.Proto.R != 3 || c.Proto.MaxContactDist != 10 || c.Proto.Depth != 2 || c.Proto.ValidatePeriod != 0.5 {
 		t.Errorf("applied config = %+v", c)
 	}
 }
@@ -110,11 +110,11 @@ func TestRunCellsOrderAndSeeds(t *testing.T) {
 		noc  int
 		seed uint64
 	}
-	got, err := RunCells(g, func(cfg proto.Config, point []float64, pointIdx int, seed uint64) cellID {
-		if int(point[0]) != cfg.NoC {
-			t.Errorf("point %v vs applied NoC %d", point, cfg.NoC)
+	got, err := RunCells(g, func(cfg CellConfig, point []float64, pointIdx int, seed uint64) cellID {
+		if int(point[0]) != cfg.Proto.NoC {
+			t.Errorf("point %v vs applied NoC %d", point, cfg.Proto.NoC)
 		}
-		return cellID{cfg.NoC, seed}
+		return cellID{cfg.Proto.NoC, seed}
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -148,7 +148,7 @@ func TestParetoFrontier(t *testing.T) {
 // testRunner returns a deterministic synthetic runner: metrics are pure
 // functions of (pointIdx, seed), so equivalence and aggregation are
 // checkable without simulation cost.
-func testRunner(cfg proto.Config, _ []float64, pointIdx int, seed uint64) (Metrics, error) {
+func testRunner(cfg CellConfig, _ []float64, pointIdx int, seed uint64) (Metrics, error) {
 	v := float64(pointIdx*100) + float64(seed)
 	return Metrics{Overhead: v, Reach: 100 - v/10, Success: 50 + v/7}, nil
 }

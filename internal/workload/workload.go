@@ -24,14 +24,19 @@
 // configuration: every scheme, worker bound and GOMAXPROCS sees the
 // identical offered load.
 //
-// CARD ticks shard across workers with the engine's batch-query recipe
-// (neighborhood views warmed before the fan-out, one card.Querier per
-// worker, tallies flushed serially in worker order after the join), making
-// the per-query outcome stream and the recorder totals bit-identical
-// between serial and sharded execution at any GOMAXPROCS — the same
+// Discovery is pluggable: Config.Scheme names any registered
+// DiscoveryScheme (card, flood, ring, bordercast, rendezvous, ...), and
+// every scheme's ticks shard across workers with the engine's batch-query
+// recipe — neighborhood views warmed before the fan-out, one
+// scheme.Worker with private tallies per OS worker, tallies flushed
+// serially in worker order after the join. That makes the per-query
+// outcome stream and the recorder totals bit-identical between serial and
+// sharded execution at any GOMAXPROCS, for every scheme — the same
 // equivalence contract the maintenance rounds honor, pinned by
-// TestWorkloadParallelEquivalence in the engine package. The flooding
-// baselines account through the shared network recorder and run serially.
+// TestWorkloadParallelEquivalence in the engine package and by the
+// cross-scheme conformance suite in internal/scheme. Scheme maintenance
+// (rendezvous re-registration) runs serially at each tick boundary, after
+// the driver advances and before the tick's queries.
 package workload
 
 import (
@@ -42,6 +47,7 @@ import (
 	"card/internal/neighborhood"
 	"card/internal/par"
 	"card/internal/resource"
+	"card/internal/scheme"
 	"card/internal/stats"
 	"card/internal/topology"
 	"card/internal/xrand"
@@ -50,32 +56,23 @@ import (
 // NodeID aliases the topology node index type.
 type NodeID = topology.NodeID
 
-// Scheme selects the discovery mechanism the traffic exercises.
-type Scheme int
+// Scheme names the discovery mechanism the traffic exercises — any name
+// registered with the scheme package ("" means the default, card). See
+// scheme.Names for the full set.
+type Scheme = string
 
 const (
-	// CARD runs contact-based discovery, sharded across workers per tick.
-	CARD Scheme = iota
-	// Flood runs the duplicate-suppressed flooding baseline (serial: the
-	// flood primitives account through the shared network recorder).
-	Flood
-	// ExpandingRing runs the TTL-doubling anycast baseline (serial).
-	ExpandingRing
-	numSchemes
+	// CARD runs contact-based discovery through the contact architecture.
+	CARD Scheme = "card"
+	// Flood runs the duplicate-suppressed flooding baseline.
+	Flood Scheme = "flood"
+	// ExpandingRing runs the TTL-doubling anycast baseline.
+	ExpandingRing Scheme = "ring"
+	// Bordercast runs ZRP bordercasting over the neighborhood substrate.
+	Bordercast Scheme = "bordercast"
+	// Rendezvous runs Rendezvous Regions (geographic key hashing).
+	Rendezvous Scheme = "rendezvous"
 )
-
-func (s Scheme) String() string {
-	switch s {
-	case CARD:
-		return "card"
-	case Flood:
-		return "flood"
-	case ExpandingRing:
-		return "ring"
-	default:
-		return fmt.Sprintf("Scheme(%d)", int(s))
-	}
-}
 
 // Config parameterizes one sustained-traffic run.
 type Config struct {
@@ -98,16 +95,17 @@ type Config struct {
 	// Window is the sliding-window size for the trailing quantiles
 	// (default 256 queries).
 	Window int
-	// Scheme selects the discovery mechanism (default CARD).
+	// Scheme names the discovery mechanism (default "card"; any name
+	// registered with the scheme package is valid).
 	Scheme Scheme
 	// Seed drives the placement and arrival streams. The request sequence
 	// is a pure function of (Seed, QPS, Duration, Tick, Resources,
 	// Replicas, ZipfS) — it never reads simulation state — so runs that
 	// share these fields offer the identical load to every scheme.
 	Seed uint64
-	// Workers bounds the per-tick CARD query fan-out: 0 (default) uses up
-	// to GOMAXPROCS, 1 forces the serial reference path. Outcomes are
-	// bit-identical at every setting.
+	// Workers bounds the per-tick query fan-out (every scheme shards): 0
+	// (default) uses up to GOMAXPROCS, 1 forces the serial reference path.
+	// Outcomes are bit-identical at every setting.
 	Workers int
 	// KeepOutcomes retains the full per-query outcome stream in the
 	// report (the equivalence tests pin it); leave false for long runs.
@@ -142,9 +140,10 @@ func (c *Config) fill() error {
 	if c.Window == 0 {
 		c.Window = 256
 	}
-	if c.Scheme < 0 || c.Scheme >= numSchemes {
-		return fmt.Errorf("workload: unknown scheme %d", int(c.Scheme))
+	if !scheme.Known(c.Scheme) {
+		return fmt.Errorf("workload: unknown scheme %q (have %v)", c.Scheme, scheme.Names())
 	}
+	c.Scheme = scheme.Canon(c.Scheme)
 	return nil
 }
 
@@ -257,11 +256,18 @@ func Run(d Driver, cfg Config) (*Report, error) {
 	var aggMsgs, aggHops stats.Welford
 
 	prot, net := d.Protocol(), d.Network()
+	sch, err := scheme.New(cfg.Scheme, scheme.Env{Net: net, Prot: prot, Dir: dir, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	// One-time scheme setup (rendezvous registration floods) accounts on
+	// the shared recorder before the stream opens.
+	sch.Setup()
 	limit := cfg.Workers
 	if limit <= 0 {
 		limit = par.Limit()
 	}
-	queriers := make([]*card.Querier, limit)
+	workers := make([]scheme.Worker, limit)
 
 	start := d.Now()
 	end := start + cfg.Duration
@@ -286,11 +292,14 @@ func Run(d Driver, cfg Config) (*Report, error) {
 		// boundary inside the tick run before the tick's queries: queries
 		// observe the freshest snapshot, exactly like the one-shot batches.
 		d.Advance(tickEnd - d.Now())
+		// Scheme maintenance (rendezvous re-registration after mobility or
+		// churn) runs serially on the fresh snapshot, before the queries.
+		sch.Maintain(d.Now())
 		if cap(outs) < len(batch) {
 			outs = make([]Outcome, len(batch))
 		}
 		outs = outs[:len(batch)]
-		runTick(prot, net, dir, cfg.Scheme, limit, queriers, batch, outs)
+		runTick(prot, net, sch, limit, workers, batch, outs)
 		for _, o := range outs {
 			rep.Queries++
 			ok := 0.0
@@ -346,32 +355,20 @@ func streamSummary(agg *stats.Welford, win *stats.Window) stats.Summary {
 }
 
 // runTick executes one tick's arrivals against the current snapshot,
-// filling outs indexed like batch.
-func runTick(prot *card.Protocol, net *manet.Network, dir *resource.Directory,
-	scheme Scheme, limit int, queriers []*card.Querier, batch []Query, outs []Outcome) {
+// filling outs indexed like batch. Every scheme shards with the
+// batch-query recipe: warm the neighborhood views (lazy per-epoch caches
+// must not be populated concurrently), fan the batch across per-worker
+// scheme.Workers with private tallies, then flush serially after the
+// join.
+func runTick(prot *card.Protocol, net *manet.Network, sch scheme.DiscoveryScheme,
+	limit int, workers []scheme.Worker, batch []Query, outs []Outcome) {
 	if len(batch) == 0 {
 		return
 	}
-	if scheme != CARD {
-		for i, q := range batch {
-			if net.Down(q.Src) {
-				outs[i] = downOutcome(q)
-				continue
-			}
-			var r resource.Result
-			switch scheme {
-			case Flood:
-				r = resource.DiscoverFlood(net, dir, q.Src, q.Resource)
-			default:
-				r = resource.DiscoverExpandingRing(net, dir, q.Src, q.Resource)
-			}
-			outs[i] = Outcome{Query: q, Found: r.Found, Messages: r.Messages, Hops: r.PathHops}
+	if prot != nil {
+		if w, ok := prot.Neighborhood().(neighborhood.Warmer); ok {
+			w.WarmAll()
 		}
-		return
-	}
-	// CARD: shard across the worker pool with the batch-query recipe.
-	if w, ok := prot.Neighborhood().(neighborhood.Warmer); ok {
-		w.WarmAll()
 	}
 	par.WorkersN(limit, len(batch), func(worker, i int) {
 		q := batch[i]
@@ -379,19 +376,19 @@ func runTick(prot *card.Protocol, net *manet.Network, dir *resource.Directory,
 			outs[i] = downOutcome(q)
 			return
 		}
-		qr := queriers[worker]
-		if qr == nil {
-			qr = prot.NewQuerier()
-			queriers[worker] = qr
+		sw := workers[worker]
+		if sw == nil {
+			sw = sch.Worker()
+			workers[worker] = sw
 		}
-		r := resource.DiscoverCARDWith(qr, dir, q.Src, q.Resource)
+		r := sw.Discover(q.Src, q.Resource)
 		outs[i] = Outcome{Query: q, Found: r.Found, Messages: r.Messages, Hops: r.PathHops}
 	})
 	// Serial flush after the join: the shared recorder sees one
 	// deterministic sum per category, whatever the interleaving was.
-	for _, qr := range queriers {
-		if qr != nil {
-			qr.Flush()
+	for _, sw := range workers {
+		if sw != nil {
+			sw.Flush()
 		}
 	}
 }

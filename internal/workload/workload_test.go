@@ -8,6 +8,7 @@ import (
 	"card/internal/manet"
 	"card/internal/mobility"
 	"card/internal/neighborhood"
+	"card/internal/scheme"
 	"card/internal/topology"
 	"card/internal/xrand"
 )
@@ -65,7 +66,7 @@ func TestRunValidatesConfig(t *testing.T) {
 		"no-duration":   {QPS: 10},
 		"negative-tick": {QPS: 10, Duration: 5, Tick: -1},
 		"negative-zipf": {QPS: 10, Duration: 5, ZipfS: -0.5},
-		"bad-scheme":    {QPS: 10, Duration: 5, Scheme: Scheme(99)},
+		"bad-scheme":    {QPS: 10, Duration: 5, Scheme: "zone-flooding"},
 	} {
 		if _, err := Run(d, bad); err == nil {
 			t.Errorf("%s: bad config accepted", name)
@@ -146,9 +147,10 @@ func TestRunDeterministic(t *testing.T) {
 // same seed offers the bit-identical request sequence (arrival times,
 // sources, resources) to every scheme — only the outcomes differ.
 func TestSchemesShareOfferedLoad(t *testing.T) {
-	var streams [numSchemes][]Query
-	var reports [numSchemes]*Report
-	for s := CARD; s < numSchemes; s++ {
+	schemes := scheme.Names()
+	streams := make(map[string][]Query, len(schemes))
+	reports := make(map[string]*Report, len(schemes))
+	for _, s := range schemes {
 		// 500 nodes over the 710 m square are well connected (mean degree
 		// ~8): flooding pays component-sized per-query traffic there,
 		// which is the paper's cost headline the last assertion pins.
@@ -164,7 +166,10 @@ func TestSchemesShareOfferedLoad(t *testing.T) {
 			streams[s] = append(streams[s], o.Query)
 		}
 	}
-	for s := Flood; s < numSchemes; s++ {
+	for _, s := range schemes {
+		if s == CARD {
+			continue
+		}
 		if len(streams[s]) != len(streams[CARD]) {
 			t.Fatalf("%v offered %d queries, card %d", s, len(streams[s]), len(streams[CARD]))
 		}

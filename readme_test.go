@@ -8,6 +8,7 @@ import (
 	"card/internal/engine"
 	"card/internal/experiments"
 	"card/internal/lint"
+	"card/internal/scheme"
 )
 
 // TestReadmeListsEverything is the docs gate CI runs: README.md must name
@@ -28,6 +29,12 @@ func TestReadmeListsEverything(t *testing.T) {
 	for _, id := range experiments.Names() {
 		if !strings.Contains(readme, "`"+id+"`") {
 			t.Errorf("README.md does not list experiment %q", id)
+		}
+	}
+	// The discovery-scheme table must track the scheme registry.
+	for _, s := range scheme.Names() {
+		if !strings.Contains(readme, "`"+s+"`") {
+			t.Errorf("README.md does not list discovery scheme %q", s)
 		}
 	}
 	// The tooling table must track the lint suite the same way the
@@ -63,7 +70,7 @@ func TestReadmeCommandsExist(t *testing.T) {
 	if _, err := experiments.Lookup("fig7"); err != nil {
 		t.Errorf("README names unknown experiment: %v", err)
 	}
-	for _, f := range []string{"-preset", "-presets", "-exp", "-list", "-churn", "-trace", "-scale", "-seeds", "-qps", "-zipf", "-sweep"} {
+	for _, f := range []string{"-preset", "-presets", "-exp", "-list", "-churn", "-trace", "-scale", "-seeds", "-qps", "-zipf", "-sweep", "-scheme"} {
 		if !strings.Contains(readme, f) {
 			t.Errorf("README no longer documents cardsim flag %s", f)
 		}
