@@ -46,3 +46,40 @@ func TestAllocBudgetAdvance1k(t *testing.T) {
 		t.Errorf("steady-state tick allocates %.1f times, budget %d", got, budget)
 	}
 }
+
+// TestAllocBudgetQuietAdvance10k pins the quiet-refresh machinery the 1M
+// preset leans on: random-waypoint nodes inside their synchronized
+// initial dwell, so every tick runs the full lazy stack — StepTo with an
+// empty moved list, UpdateDirtyMasked's empty-diff early-out, the
+// deficit∪dirty round list over the stragglers — against reused scratch:
+// the expandChanges BFS queue and stamps, the dirtyAcc/deficit/roundSet
+// bitsets and the round-list slice all persist across refreshes. A leak
+// of any of them (or a fallback onto an O(N) scan allocating per tick)
+// breaks the budget at 10k long before the 1M preset feels it.
+func TestAllocBudgetQuietAdvance10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	sim, err := NewSimulation(NetworkConfig{
+		Nodes: 10000, Width: 4200, Height: 4200, TxRange: 100,
+		Mobility: RandomWaypoint, MinSpeed: 1, MaxSpeed: 19, Pause: 600,
+		DirtyMaintenance: true, Seed: 9,
+	}, Config{R: 2, MaxContactDist: 10, NoC: 8, Depth: 3, ValidatePeriod: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SelectContacts()
+	sim.Engine().SetMaintainWorkers(1)
+	period := sim.Config().ValidatePeriod
+	for i := 0; i < 5; i++ {
+		sim.Advance(period)
+	}
+	got := testing.AllocsPerRun(20, func() {
+		sim.Advance(period)
+	})
+	const budget = 50
+	t.Logf("allocs per quiet 10k-node tick: %.1f (budget %d)", got, budget)
+	if got > budget {
+		t.Errorf("quiet steady-state tick allocates %.1f times, budget %d", got, budget)
+	}
+}

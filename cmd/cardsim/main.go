@@ -34,6 +34,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -48,46 +49,82 @@ import (
 )
 
 func main() {
-	var (
-		exp    = flag.String("exp", "", "experiment id, or 'all' / 'ablations' / 'everything'")
-		format = flag.String("format", "text", "output format: text, csv, md, plot")
-		seeds  = flag.Int("seeds", 3, "independent repetitions per cell")
-		scale  = flag.Float64("scale", 1, "scenario scale in (0,1]; 1 = paper-size networks")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		timing = flag.Bool("time", false, "print wall-clock time per experiment")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-		presets   = flag.Bool("presets", false, "list workload presets and exit")
-		preset    = flag.String("preset", "", "run one workload preset end to end")
-		trace     = flag.String("trace", "", "replay an ns-2 setdest movement trace end to end")
-		tx        = flag.Float64("tx", 100, "radio range in meters for -trace runs")
-		churn     = flag.String("churn", "", "add node churn to the run: meanUp,meanDown seconds (e.g. 60,15)")
-		queries   = flag.Int("queries", 500, "batched queries per preset run")
-		horizon   = flag.Float64("horizon", -1, "simulated seconds before querying (-1 = preset default)")
-		seed      = flag.Uint64("seed", 1, "preset run seed")
-		topology  = flag.String("topology", "grid", "topology path: grid (incremental), full, naive")
-		qps       = flag.Float64("qps", -1, "sustained query-traffic rate in queries/s (-1 = preset default, 0 = off)")
-		zipf      = flag.Float64("zipf", -1, "resource popularity skew for sustained traffic (-1 = preset default)")
-		sweepArg  = flag.String("sweep", "", `parameter-sweep grid over the preset, e.g. "NoC=1..10;r=6..20"`)
-		schemeArg = flag.String("scheme", "", "discovery scheme for sweeps and sustained traffic: card, flood, ring, bordercast, rendezvous")
+// presetNames returns the registered preset names, sorted — the "did you
+// mean" list printed when -preset misses the registry.
+func presetNames() []string {
+	ps := engine.Presets()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// run is the testable body of main: it parses args on its own FlagSet and
+// returns the process exit code instead of calling os.Exit, so the unit
+// tests can drive the flag-parsing path directly. Unknown -preset and
+// -scheme values print the registered names and exit 1 (actionable
+// operator typos); malformed invocations keep exit 2.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cardsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp    = fs.String("exp", "", "experiment id, or 'all' / 'ablations' / 'everything'")
+		format = fs.String("format", "text", "output format: text, csv, md, plot")
+		seeds  = fs.Int("seeds", 3, "independent repetitions per cell")
+		scale  = fs.Float64("scale", 1, "scenario scale in (0,1]; 1 = paper-size networks")
+		list   = fs.Bool("list", false, "list experiment ids and exit")
+		timing = fs.Bool("time", false, "print wall-clock time per experiment")
+
+		presets   = fs.Bool("presets", false, "list workload presets and exit")
+		preset    = fs.String("preset", "", "run one workload preset end to end")
+		trace     = fs.String("trace", "", "replay an ns-2 setdest movement trace end to end")
+		tx        = fs.Float64("tx", 100, "radio range in meters for -trace runs")
+		churn     = fs.String("churn", "", "add node churn to the run: meanUp,meanDown seconds (e.g. 60,15)")
+		queries   = fs.Int("queries", 500, "batched queries per preset run")
+		horizon   = fs.Float64("horizon", -1, "simulated seconds before querying (-1 = preset default)")
+		seed      = fs.Uint64("seed", 1, "preset run seed")
+		topology  = fs.String("topology", "grid", "topology path: grid (incremental), full, naive")
+		qps       = fs.Float64("qps", -1, "sustained query-traffic rate in queries/s (-1 = preset default, 0 = off)")
+		zipf      = fs.Float64("zipf", -1, "resource popularity skew for sustained traffic (-1 = preset default)")
+		sweepArg  = fs.String("sweep", "", `parameter-sweep grid over the preset, e.g. "NoC=1..10;r=6..20"`)
+		schemeArg = fs.String("scheme", "", "discovery scheme for sweeps and sustained traffic: card, flood, ring, bordercast, rendezvous")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, name := range experiments.Names() {
-			fmt.Println(name)
+			fmt.Fprintln(stdout, name)
 		}
-		return
+		return 0
 	}
 	if *presets {
 		for _, p := range engine.Presets() {
-			fmt.Printf("%-20s %s\n", p.Name, p.Doc)
-			fmt.Printf("%-20s   %s\n", "", p.Description)
+			fmt.Fprintf(stdout, "%-20s %s\n", p.Name, p.Doc)
+			fmt.Fprintf(stdout, "%-20s   %s\n", "", p.Description)
 		}
-		return
+		return 0
 	}
 	if *schemeArg != "" && !scheme.Known(*schemeArg) {
-		fmt.Fprintf(os.Stderr, "cardsim: unknown -scheme %q (have %v)\n", *schemeArg, scheme.Names())
-		os.Exit(2)
+		fmt.Fprintf(stderr, "cardsim: unknown -scheme %q; registered schemes:\n", *schemeArg)
+		for _, n := range scheme.Names() {
+			fmt.Fprintf(stderr, "  %s\n", n)
+		}
+		return 1
+	}
+	if *preset != "" {
+		if _, err := engine.LookupPreset(*preset); err != nil {
+			fmt.Fprintf(stderr, "cardsim: unknown -preset %q; registered presets:\n", *preset)
+			for _, n := range presetNames() {
+				fmt.Fprintf(stderr, "  %s\n", n)
+			}
+			return 1
+		}
 	}
 	// A bare -sweep runs over the default citywide preset.
 	if *sweepArg != "" && *preset == "" && *trace == "" {
@@ -107,14 +144,14 @@ func main() {
 			}
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cardsim:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "cardsim:", err)
+			return 2
 		}
-		return
+		return 0
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "cardsim: -exp, -preset or -trace required (try -list / -presets)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "cardsim: -exp, -preset or -trace required (try -list / -presets)")
+		return 2
 	}
 
 	var ids []string
@@ -133,25 +170,26 @@ func main() {
 	for _, id := range ids {
 		runner, err := experiments.Lookup(id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cardsim:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "cardsim:", err)
+			return 2
 		}
 		start := time.Now()
 		tab := runner(opts)
 		switch *format {
 		case "csv":
-			fmt.Print(tab.CSV())
+			fmt.Fprint(stdout, tab.CSV())
 		case "md":
-			fmt.Println(tab.Markdown())
+			fmt.Fprintln(stdout, tab.Markdown())
 		case "plot":
-			fmt.Println(tab.Plot())
+			fmt.Fprintln(stdout, tab.Plot())
 		default:
-			fmt.Println(tab.Text())
+			fmt.Fprintln(stdout, tab.Text())
 		}
 		if *timing {
-			fmt.Fprintf(os.Stderr, "[%s: %v]\n", id, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stderr, "[%s: %v]\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	return 0
 }
 
 // resolveWorkload turns the -preset / -trace / -churn flags into one

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUnknownPresetListsNames pins the operator-typo path: an unknown
+// -preset must name every registered preset and exit 1, not fail
+// opaquely.
+func TestUnknownPresetListsNames(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-preset", "no-such-preset"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("run(-preset no-such-preset) = exit %d, want 1\nstderr: %s", code, errw.String())
+	}
+	msg := errw.String()
+	if !strings.Contains(msg, `unknown -preset "no-such-preset"`) {
+		t.Errorf("stderr does not name the bad preset:\n%s", msg)
+	}
+	for _, want := range []string{"citywide-rwp-1k", "citywide-rwp-100k", "metro-rwp-1m", "dense-sensor-field"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("stderr does not list registered preset %q:\n%s", want, msg)
+		}
+	}
+}
+
+// TestUnknownSchemeListsNames pins the same contract for -scheme.
+func TestUnknownSchemeListsNames(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-preset", "citywide-rwp-1k", "-scheme", "gossip"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("run(-scheme gossip) = exit %d, want 1\nstderr: %s", code, errw.String())
+	}
+	msg := errw.String()
+	if !strings.Contains(msg, `unknown -scheme "gossip"`) {
+		t.Errorf("stderr does not name the bad scheme:\n%s", msg)
+	}
+	for _, want := range []string{"card", "flood", "bordercast", "rendezvous"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("stderr does not list registered scheme %q:\n%s", want, msg)
+		}
+	}
+}
+
+// TestBadFlagExitsTwo pins that malformed invocations (as opposed to
+// unknown registry names) keep the usage exit code.
+func TestBadFlagExitsTwo(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errw); code != 2 {
+		t.Fatalf("run(-no-such-flag) = exit %d, want 2", code)
+	}
+	if code := run(nil, &out, &errw); code != 2 {
+		t.Fatalf("run() with no args = exit %d, want 2", code)
+	}
+}
+
+// TestListAndPresetsExitZero smoke-tests the two listing paths through
+// the same entry point.
+func TestListAndPresetsExitZero(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-presets"}, &out, &errw); code != 0 {
+		t.Fatalf("run(-presets) = exit %d, want 0\nstderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "metro-rwp-1m") {
+		t.Errorf("-presets output does not list metro-rwp-1m:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("run(-list) = exit %d, want 0\nstderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "fig3") {
+		t.Errorf("-list output does not include fig3:\n%s", out.String())
+	}
+}

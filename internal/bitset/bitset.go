@@ -93,6 +93,22 @@ func (s *Set) Clear() {
 	}
 }
 
+// Fill adds every value in [0, Len()) — the complement of Clear. Bits
+// beyond the capacity stay zero, so Count, ForEach and Words stay exact.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] = (1 << uint(rem)) - 1
+	}
+}
+
+// Words exposes the backing word array (bit v lives at words[v/64], bit
+// v%64). Read-only: callers iterate set bits without the per-element
+// closure cost of ForEach on hot paths. Bits at index >= Len() are zero.
+func (s *Set) Words() []uint64 { return s.words }
+
 // Clone returns a deep copy of s.
 func (s *Set) Clone() *Set {
 	c := &Set{words: make([]uint64, len(s.words)), n: s.n}

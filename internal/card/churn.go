@@ -17,9 +17,15 @@ import "card/internal/bitset"
 // ExpireNodes mutates multiple tables and must only be called from the
 // serial engine loop (between rounds), never concurrently with a round
 // fan-out or batch queries.
-func (p *Protocol) ExpireNodes(vs []NodeID) {
+//
+// The return value lists every owner whose table shrank (the departed
+// nodes themselves included — their tables were cleared), ascending and
+// duplicate-free: exactly the nodes whose below-NoC status may have
+// flipped, which the engine's deficit list consumes. The slice aliases
+// protocol scratch and is valid until the next ExpireNodes call.
+func (p *Protocol) ExpireNodes(vs []NodeID) (affected []NodeID) {
 	if len(vs) == 0 {
-		return
+		return nil
 	}
 	// Membership scratch: a lazily allocated bitset beats the old per-batch
 	// map — no allocation per churn event, O(1) probes in the table sweep —
@@ -27,6 +33,7 @@ func (p *Protocol) ExpireNodes(vs []NodeID) {
 	if p.departed == nil {
 		p.departed = bitset.New(p.net.N())
 	}
+	p.affected = p.affected[:0]
 	for _, v := range vs {
 		p.departed.Add(int(v))
 		p.stats.ContactsExpired += int64(p.tables[v].Len())
@@ -34,18 +41,24 @@ func (p *Protocol) ExpireNodes(vs []NodeID) {
 	}
 	for i := range p.tables {
 		t := &p.tables[i]
+		shrank := p.departed.Contains(i) // cleared above
 		for j := 0; j < t.Len(); {
 			if p.departed.Contains(int(t.at(j).ID)) {
 				t.removeAt(j)
 				p.stats.ContactsExpired++
+				shrank = true
 				continue
 			}
 			j++
+		}
+		if shrank {
+			p.affected = append(p.affected, NodeID(i))
 		}
 	}
 	for _, v := range vs {
 		p.departed.Remove(int(v))
 	}
+	return p.affected
 }
 
 // ExpireNode is ExpireNodes for a single departure.

@@ -159,8 +159,10 @@ type Protocol struct {
 	pathCap   int
 
 	// departed is the churn-expiry scratch (see ExpireNodes); lazily
-	// allocated, cleared by removing only the bits it set.
+	// allocated, cleared by removing only the bits it set. affected is the
+	// shrunk-owner list the same call returns.
 	departed *bitset.Set
+	affected []NodeID
 
 	// round numbers the selection/maintenance rounds for RNG stream
 	// derivation: round k gives node u the substream (u, k) of rng's

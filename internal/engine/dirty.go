@@ -1,5 +1,7 @@
 package engine
 
+import "math/bits"
+
 // Dirty-set maintenance (NetworkConfig.DirtyMaintenance): instead of
 // re-running selection and maintenance for every node every round, the
 // engine tracks which nodes a round could actually affect and restricts
@@ -120,20 +122,68 @@ func (e *Engine) expandChanges(changed []NodeID) (dirty, retain []NodeID) {
 
 // dirtyRoundList builds the ascending-id list of nodes the next
 // restricted round must process: accumulated dirty nodes plus every table
-// below NoC. The scan is O(N) but branch-cheap; the work it gates —
-// validation walks, CSQ walks, view recomputation — is what actually
-// scales with the list length.
+// below NoC. The below-NoC half is the incrementally maintained deficit
+// bitset (see below), so building the list is a word-level OR of two
+// bitsets plus one append per listed node — O(N/64 + |list|), never an
+// O(N) table-length scan. Iterating set bits ascending reproduces the old
+// scan's id order exactly, and the deficit invariant makes the contents
+// bit-identical to it.
 func (e *Engine) dirtyRoundList() []NodeID {
 	list := e.roundList[:0]
-	n := e.net.N()
-	noc := e.cfg.NoC
-	for i := 0; i < n; i++ {
-		if e.dirtyAcc.Contains(i) || e.prot.Table(NodeID(i)).Len() < noc {
-			list = append(list, NodeID(i))
+	e.roundSet.CopyFrom(e.dirtyAcc)
+	e.roundSet.UnionWith(e.deficit)
+	for wi, w := range e.roundSet.Words() {
+		base := wi * 64
+		for w != 0 {
+			list = append(list, NodeID(base+bits.TrailingZeros64(w)))
+			w &= w - 1
 		}
 	}
 	e.roundList = list
 	return list
+}
+
+// The deficit invariant: e.deficit == {u : Table(u).Len() < NoC} whenever
+// a round list is built. Table lengths change at exactly three kinds of
+// points, each hooked:
+//
+//   - rounds (selection refills, maintenance drops/refills) mutate only
+//     the tables of the nodes they process — noteRoundTables re-derives
+//     membership for that list right after the round joins;
+//   - churn expiry (ExpireNodes) clears departed tables and drops their
+//     entries from other tables — it reports every shrunk owner, and a
+//     shrunk table can only enter the deficit, never leave it;
+//   - churn readmission (ResetNode) empties one table — always deficit.
+//
+// All three run on the serial engine loop, so the bitset needs no locks.
+// At construction every table is empty, so the set starts full — which is
+// also what makes the t=0 SelectContacts round cover all N nodes, exactly
+// like the old scan.
+
+// noteRoundTables re-derives deficit membership for the nodes a round
+// just processed (the only tables it can have touched).
+func (e *Engine) noteRoundTables(list []NodeID) {
+	noc := e.cfg.NoC
+	for _, u := range list {
+		if e.prot.Table(u).Len() < noc {
+			e.deficit.Add(int(u))
+		} else {
+			e.deficit.Remove(int(u))
+		}
+	}
+}
+
+// noteAllTables is noteRoundTables for a full round (every table).
+func (e *Engine) noteAllTables() {
+	n := e.net.N()
+	noc := e.cfg.NoC
+	for i := 0; i < n; i++ {
+		if e.prot.Table(NodeID(i)).Len() < noc {
+			e.deficit.Add(i)
+		} else {
+			e.deficit.Remove(i)
+		}
+	}
 }
 
 // LastRoundNodes reports how many nodes the most recent maintenance or

@@ -214,6 +214,15 @@ type NetworkConfig struct {
 
 	// Proactive selects the neighborhood substrate (default OracleView).
 	Proactive ProactiveKind
+	// ViewCacheCap, when > 0, replaces the resident per-node view table of
+	// the OracleView substrate with a capped LRU cache of at most this many
+	// materialized views, computed on demand. Lookups stay bit-identical
+	// (views are pure functions of the snapshot; see neighborhood.ViewCache)
+	// but a million-node field no longer pays O(N) view memory or O(N)
+	// per-round warm sweeps — only the views rounds actually read exist.
+	// Requires the OracleView substrate. Sized well below the working set
+	// it trades recompute time for memory; the 1M preset uses it.
+	ViewCacheCap int
 	// DSDVPeriod is the full-dump interval for DSDVProtocol in seconds
 	// (default 1).
 	DSDVPeriod float64
@@ -266,6 +275,12 @@ func (nc *NetworkConfig) fill() error {
 		if nc.Proactive != OracleView {
 			return fmt.Errorf("engine: DirtyMaintenance requires the OracleView substrate")
 		}
+	}
+	if nc.ViewCacheCap < 0 {
+		return fmt.Errorf("engine: negative ViewCacheCap %d", nc.ViewCacheCap)
+	}
+	if nc.ViewCacheCap > 0 && nc.Proactive != OracleView {
+		return fmt.Errorf("engine: ViewCacheCap requires the OracleView substrate")
 	}
 	return nil
 }
@@ -350,15 +365,24 @@ type Engine struct {
 
 	// Dirty-set round state (NetworkConfig.DirtyMaintenance); see dirty.go.
 	dirtyMode bool
-	oracle    *neighborhood.Oracle // the substrate, concretely; non-nil iff dirtyMode
-	dirtyAcc  *bitset.Set          // nodes dirtied since the last maintenance round
-	dirtyAll  bool                 // a full rebuild invalidated everything
-	lastRound int                  // nodes processed by the most recent round
+	oracle    viewRetainer // the substrate's retention hook; non-nil iff dirtyMode
+	dirtyAcc  *bitset.Set  // nodes dirtied since the last maintenance round
+	deficit   *bitset.Set  // nodes whose table sits below NoC (see dirty.go)
+	roundSet  *bitset.Set  // scratch: dirtyAcc ∪ deficit for the round list
+	dirtyAll  bool         // a full rebuild invalidated everything
+	lastRound int          // nodes processed by the most recent round
 	// Multi-source BFS scratch for expanding adjacency diffs.
 	dirtyStamp []uint64
 	dirtyGen   uint64
 	dirtyQueue []NodeID
 	roundList  []NodeID
+}
+
+// viewRetainer is the slice of the neighborhood substrate the dirty-set
+// machinery needs: advance the view cache's epoch keeping every view
+// except the listed ones. Oracle and ViewCache both implement it.
+type viewRetainer interface {
+	Retain(changed []NodeID)
 }
 
 // New builds a network per nc and a CARD engine per cfg.
@@ -445,7 +469,11 @@ func New(nc NetworkConfig, cfg proto.Config) (*Engine, error) {
 	var dsdv *neighborhood.DSDV
 	switch nc.Proactive {
 	case OracleView:
-		nb = neighborhood.NewOracle(net, cfg.R)
+		if nc.ViewCacheCap > 0 {
+			nb = neighborhood.NewViewCache(net, cfg.R, nc.ViewCacheCap)
+		} else {
+			nb = neighborhood.NewOracle(net, cfg.R)
+		}
 	case DSDVProtocol:
 		dcfg := neighborhood.DefaultDSDV()
 		if nc.DSDVPeriod > 0 {
@@ -471,8 +499,11 @@ func New(nc NetworkConfig, cfg proto.Config) (*Engine, error) {
 	e := &Engine{net: net, prot: p, nb: nb, dsdv: dsdv, cfg: p.Config(), q: eventq.New()}
 	if nc.DirtyMaintenance {
 		e.dirtyMode = true
-		e.oracle = nb.(*neighborhood.Oracle) // fill() pinned Proactive == OracleView
+		e.oracle = nb.(viewRetainer) // fill() pinned Proactive == OracleView
 		e.dirtyAcc = bitset.New(nc.Nodes)
+		e.deficit = bitset.New(nc.Nodes)
+		e.deficit.Fill() // every table starts empty, hence below NoC
+		e.roundSet = bitset.New(nc.Nodes)
 		e.dirtyStamp = make([]uint64, nc.Nodes)
 	}
 	e.scheduleMaintenance()
@@ -509,9 +540,19 @@ func (e *Engine) refresh(t float64) {
 		e.noteTopologyChanges()
 	}
 	if e.net.HasChurn() {
-		e.prot.ExpireNodes(e.net.ChurnedDown())
+		affected := e.prot.ExpireNodes(e.net.ChurnedDown())
+		if e.dirtyMode {
+			// Expiry only shrinks tables: every affected owner is now
+			// below NoC or was already — deficit entries, never exits.
+			for _, u := range affected {
+				e.deficit.Add(int(u))
+			}
+		}
 		for _, v := range e.net.ChurnedUp() {
 			e.prot.ResetNode(v)
+			if e.dirtyMode {
+				e.deficit.Add(int(v)) // readmitted cold: empty table
+			}
 		}
 	}
 	if e.dsdv != nil {

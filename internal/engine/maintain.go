@@ -75,6 +75,7 @@ func (e *Engine) maintainRound(now float64) {
 		list := e.dirtyRoundList()
 		e.lastRound = len(list)
 		e.maintainList(list, now)
+		e.noteRoundTables(list) // only the listed tables could have changed
 		e.dirtyAcc.Clear()
 		return
 	}
@@ -82,6 +83,7 @@ func (e *Engine) maintainRound(now float64) {
 	if e.dirtyMode {
 		e.dirtyAll = false
 		e.dirtyAcc.Clear()
+		defer e.noteAllTables()
 	}
 	workers := e.roundWorkers(n)
 	if workers <= 1 {
@@ -125,9 +127,14 @@ func (e *Engine) selectRound(now float64) int {
 	if e.dirtyMode && !e.dirtyAll {
 		list := e.dirtyRoundList()
 		e.lastRound = len(list)
-		return e.selectList(list, now)
+		added := e.selectList(list, now)
+		e.noteRoundTables(list)
+		return added
 	}
 	e.lastRound = n
+	if e.dirtyMode {
+		defer e.noteAllTables()
+	}
 	workers := e.roundWorkers(n)
 	if workers <= 1 {
 		return e.prot.SelectAll(now)

@@ -152,6 +152,26 @@ var builtinPresets = []Preset{
 		Horizon:  30,
 	},
 	{
+		// Density-matched to the citywide family (~5.7e-4 nodes/m²) at the
+		// million-node rung. Everything O(N)-per-step is gone at this size:
+		// lazy mobility steps only un-paused travelers, the incremental
+		// builder re-examines only the moved list, the deficit bitset
+		// replaces the below-NoC table scan, and ViewCacheCap bounds
+		// resident neighborhood views to a quarter-million LRU entries
+		// computed on demand — a warm full view table alone would dwarf the
+		// rest of the footprint. Long pauses keep per-refresh diffs sparse,
+		// so a steady-state round touches thousands of nodes, not 10⁶.
+		Name:        "metro-rwp-1m",
+		Description: "1000000 vehicles over 42000x42000 m, 100 m radio — the million-node rung",
+		Net: NetworkConfig{
+			Nodes: 1_000_000, Width: 42000, Height: 42000, TxRange: 100,
+			Mobility: RandomWaypoint, MinSpeed: 1, MaxSpeed: 19, Pause: 120, Seed: 1,
+			DirtyMaintenance: true, ViewCacheCap: 1 << 18,
+		},
+		Protocol: proto.Config{R: 2, MaxContactDist: 10, NoC: 8, Depth: 3, ValidatePeriod: 2},
+		Horizon:  30,
+	},
+	{
 		// The 5k regime under Gauss–Markov: smooth correlated trajectories
 		// keep links alive longer than RWP's sharp turns, so contact paths
 		// decay gradually instead of snapping — the favorable-mobility

@@ -125,6 +125,14 @@ type Network struct {
 	graph   *topology.Graph
 	builder *topology.Builder // non-nil iff mode == IncrementalTopology
 
+	// stepper is non-nil when the mobility model supports lazy stepping
+	// (mobility.Stepper): refreshes then patch only the moved nodes into
+	// the builder instead of rescanning all N positions, and pos aliases
+	// the model's internal slice (no per-refresh copy). dirtyScratch
+	// merges the moved list with churn flips for the builder.
+	stepper      mobility.Stepper
+	dirtyScratch []NodeID
+
 	// Churn state: nil churn means a fixed population. down is the
 	// node-exclusion mask fed to the topology builders; wentDown/cameUp
 	// list the nodes that flipped at the most recent refresh and stay
@@ -176,12 +184,20 @@ func NewWithChurn(model mobility.Model, txRange float64, rng *xrand.Rand, mode T
 	if mode == IncrementalTopology {
 		n.builder = topology.NewBuilder(model.N(), model.Area(), txRange)
 	}
+	if st, ok := model.(mobility.Stepper); ok {
+		n.stepper = st
+	}
 	n.rebuild(0)
 	return n
 }
 
 func (n *Network) rebuild(t float64) {
-	n.model.PositionsAt(t, n.pos)
+	var moved []NodeID
+	if n.stepper != nil {
+		moved, n.pos = n.stepper.StepTo(t)
+	} else {
+		n.model.PositionsAt(t, n.pos)
+	}
 	if n.churn != nil {
 		n.wentDown, n.cameUp = n.wentDown[:0], n.cameUp[:0]
 		for i := range n.down {
@@ -198,7 +214,19 @@ func (n *Network) rebuild(t float64) {
 	}
 	switch n.mode {
 	case IncrementalTopology:
-		n.graph = n.builder.UpdateMasked(n.pos, n.down)
+		if n.stepper != nil {
+			dirty := moved
+			if n.churn != nil && len(n.wentDown)+len(n.cameUp) > 0 {
+				d := append(n.dirtyScratch[:0], moved...)
+				d = append(d, n.wentDown...)
+				d = append(d, n.cameUp...)
+				n.dirtyScratch = d
+				dirty = d
+			}
+			n.graph = n.builder.UpdateDirtyMasked(n.pos, n.down, dirty)
+		} else {
+			n.graph = n.builder.UpdateMasked(n.pos, n.down)
+		}
 	case NaiveTopology:
 		n.graph = topology.BuildNaiveMasked(n.pos, n.model.Area(), n.txRange, n.down)
 	default:

@@ -102,6 +102,18 @@ type RandomWaypoint struct {
 	area geom.Rect
 	rngs []*xrand.Rand
 	legs []leg
+
+	// Lazy-stepping state (see Stepper): pos holds every node's position
+	// as of now; a node is either dwelling (in the paused wake queue,
+	// keyed by its leg departure) or traveling (on the active list). moved
+	// is the scratch slice StepTo returns; work counts per-node
+	// advancement operations for the zero-work regression tests.
+	now    float64
+	pos    []geom.Point
+	paused pauseHeap
+	active []int32
+	moved  []int32
+	work   uint64
 }
 
 // NewRandomWaypoint creates an RWP model for n nodes. Initial positions are
@@ -111,16 +123,24 @@ func NewRandomWaypoint(n int, area geom.Rect, cfg RWPConfig, rng *xrand.Rand) (*
 		return nil, err
 	}
 	m := &RandomWaypoint{
-		cfg:  cfg,
-		area: area,
-		rngs: make([]*xrand.Rand, n),
-		legs: make([]leg, n),
+		cfg:    cfg,
+		area:   area,
+		rngs:   make([]*xrand.Rand, n),
+		legs:   make([]leg, n),
+		pos:    make([]geom.Point, n),
+		paused: make(pauseHeap, 0, n),
 	}
 	for i := 0; i < n; i++ {
 		m.rngs[i] = rng.Derive(uint64(i))
 		start := geom.Point{X: m.rngs[i].Range(0, area.W), Y: m.rngs[i].Range(0, area.H)}
 		m.legs[i] = m.nextLeg(i, start, 0)
+		// At t=0 every node sits at its start until the first departure
+		// (depart = Pause >= 0), so all nodes enter the wake queue; one
+		// heapify beats n ordered pushes.
+		m.pos[i] = start
+		m.paused = append(m.paused, pauseEntry{at: m.legs[i].depart, id: int32(i)})
 	}
+	m.paused.heapify()
 	return m, nil
 }
 
@@ -145,22 +165,11 @@ func (m *RandomWaypoint) N() int { return len(m.legs) }
 func (m *RandomWaypoint) Area() geom.Rect { return m.area }
 
 // PositionsAt implements Model. t must be non-decreasing across calls.
+// It is StepTo plus a full copy; both samplers share one trajectory state,
+// so interleaving them is safe and bit-identical.
 func (m *RandomWaypoint) PositionsAt(t float64, dst []geom.Point) {
-	for i := range m.legs {
-		dst[i] = m.positionAt(i, t)
-	}
-}
-
-func (m *RandomWaypoint) positionAt(i int, t float64) geom.Point {
-	l := &m.legs[i]
-	for t >= l.arrive {
-		*l = m.nextLeg(i, l.to, l.arrive)
-	}
-	if t <= l.depart {
-		return l.from
-	}
-	frac := (t - l.depart) / (l.arrive - l.depart)
-	return l.from.Lerp(l.to, frac)
+	m.StepTo(t)
+	copy(dst, m.pos)
 }
 
 // RandomWalk moves each node with a constant speed in a random direction,

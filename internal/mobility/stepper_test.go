@@ -1,0 +1,107 @@
+package mobility
+
+import (
+	"testing"
+
+	"card/internal/geom"
+	"card/internal/xrand"
+)
+
+// TestStepperZeroWorkWhilePaused is the lazy-mobility regression: random
+// waypoint starts every node in its initial dwell (legs depart at
+// t = Pause), so stepping anywhere inside that window must touch no node
+// at all — no advanceNode calls, no moved ids — however many refreshes
+// sample it.
+func TestStepperZeroWorkWhilePaused(t *testing.T) {
+	area := geom.Rect{W: 1000, H: 1000}
+	m, err := NewRandomWaypoint(200, area, RWPConfig{
+		MinSpeed: 1, MaxSpeed: 19, Pause: 60,
+	}, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := m.PositionWork(); w != 0 {
+		t.Fatalf("construction already reports %d position work", w)
+	}
+	for _, tt := range []float64{0.5, 1, 7, 30, 59.9} {
+		moved, _ := m.StepTo(tt)
+		if len(moved) != 0 {
+			t.Fatalf("StepTo(%g) inside the initial dwell moved %d nodes", tt, len(moved))
+		}
+		if w := m.PositionWork(); w != 0 {
+			t.Fatalf("StepTo(%g) inside the initial dwell performed %d position work", tt, w)
+		}
+	}
+	// Crossing the dwell boundary wakes the whole field exactly once.
+	moved, _ := m.StepTo(61)
+	if len(moved) != 200 {
+		t.Fatalf("StepTo past the dwell moved %d/200 nodes", len(moved))
+	}
+	if w := m.PositionWork(); w != 200 {
+		t.Fatalf("StepTo past the dwell performed %d position work, want 200", w)
+	}
+}
+
+// TestStepperMovedListExact pins the moved list against the positions
+// themselves: a node is listed iff its position changed since the last
+// step, and the returned slice is ascending — exactly what the eager
+// all-positions diff used to compute.
+func TestStepperMovedListExact(t *testing.T) {
+	area := geom.Rect{W: 500, H: 500}
+	m, err := NewRandomWaypoint(150, area, RWPConfig{
+		MinSpeed: 2, MaxSpeed: 10, Pause: 3,
+	}, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := make([]geom.Point, 150)
+	_, pos := m.StepTo(0)
+	copy(prev, pos)
+	for step := 1; step <= 40; step++ {
+		tt := float64(step) * 0.7
+		moved, pos := m.StepTo(tt)
+		inMoved := make(map[int32]bool, len(moved))
+		last := int32(-1)
+		for _, id := range moved {
+			if id <= last {
+				t.Fatalf("t=%g: moved list not strictly ascending: %v", tt, moved)
+			}
+			last = id
+			inMoved[id] = true
+		}
+		for i := range pos {
+			if (pos[i] != prev[i]) != inMoved[int32(i)] {
+				t.Fatalf("t=%g node %d: changed=%v listed=%v", tt, i, pos[i] != prev[i], inMoved[int32(i)])
+			}
+		}
+		copy(prev, pos)
+	}
+}
+
+// TestStepperMatchesCoarseSampling pins the lazy stepper's bit-exactness
+// against an identically seeded twin sampled only once: intermediate
+// StepTo calls must not disturb the trajectory (the per-leg RNG draws
+// happen in the same order regardless of sampling).
+func TestStepperMatchesCoarseSampling(t *testing.T) {
+	area := geom.Rect{W: 800, H: 800}
+	mk := func() *RandomWaypoint {
+		m, err := NewRandomWaypoint(100, area, RWPConfig{
+			MinSpeed: 1, MaxSpeed: 15, Pause: 2,
+		}, xrand.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	fine, coarse := mk(), mk()
+	for step := 1; step <= 200; step++ {
+		fine.StepTo(float64(step) * 0.25)
+	}
+	_, a := fine.StepTo(50)
+	_, b := coarse.StepTo(50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d: fine sampling %v, coarse %v", i, a[i], b[i])
+		}
+	}
+}

@@ -41,6 +41,15 @@ type Oracle struct {
 	epoch uint64
 	views []*oracleView // indexed by node, nil = not yet computed this epoch
 
+	// missing tracks which views WarmAll still has to materialize, so a
+	// warm call after Retain costs O(dropped), never an O(N) nil sweep.
+	// allMissing covers the epoch-wipe / initial state where every view is
+	// absent; when it is false, missing is a superset of the nil views
+	// (on-demand computes fill a view without delisting it; duplicates
+	// from repeated drops are compacted before the warm fan-out).
+	missing    []NodeID
+	allMissing bool
+
 	// scratch pools the per-BFS stamp arrays: view computation runs from
 	// WarmAll's worker fan-out, and the scratch contents never influence
 	// the (purely graph-determined) view, so pooling is determinism-safe.
@@ -88,10 +97,11 @@ func NewOracle(net *manet.Network, r int) *Oracle {
 		panic("neighborhood: radius exceeds uint8 distance column")
 	}
 	o := &Oracle{
-		net:   net,
-		r:     r,
-		epoch: net.Epoch(),
-		views: make([]*oracleView, net.N()),
+		net:        net,
+		r:          r,
+		epoch:      net.Epoch(),
+		views:      make([]*oracleView, net.N()),
+		allMissing: true,
 	}
 	n := net.N()
 	o.scratch.New = func() any {
@@ -114,6 +124,8 @@ func (o *Oracle) invalidate() {
 		for i := range o.views {
 			o.views[i] = nil
 		}
+		o.allMissing = true
+		o.missing = o.missing[:0]
 	}
 }
 
@@ -127,15 +139,30 @@ func (o *Oracle) invalidate() {
 func (o *Oracle) Retain(changed []NodeID) {
 	o.epoch = o.net.Epoch()
 	for _, u := range changed {
+		if o.views[u] == nil {
+			continue // never computed, or already dropped and listed
+		}
 		o.views[u] = nil
+		if !o.allMissing {
+			o.missing = append(o.missing, u)
+		}
 	}
 }
 
 // compute builds u's view from the current snapshot (pure read of the
 // graph; safe to run concurrently for distinct nodes).
 func (o *Oracle) compute(u NodeID) *oracleView {
-	g := o.net.Graph()
 	s := o.scratch.Get().(*oracleScratch)
+	v := computeView(o.net.Graph(), o.r, u, s)
+	o.scratch.Put(s)
+	return v
+}
+
+// computeView runs the R-bounded BFS for u over g into the reusable
+// scratch and compacts the result into an O(ball) view. Pure function of
+// the graph — every caller (Oracle, ViewCache, any worker) gets the
+// bit-identical view for the same snapshot.
+func computeView(g *topology.Graph, r int, u NodeID, s *oracleScratch) *oracleView {
 	s.gen++
 	gen := s.gen
 	s.order = s.order[:0]
@@ -143,7 +170,7 @@ func (o *Oracle) compute(u NodeID) *oracleView {
 	s.dist[u] = 0
 	s.parent[u] = topology.None
 	s.order = append(s.order, u)
-	rr := uint8(o.r)
+	rr := uint8(r)
 	for head := 0; head < len(s.order); head++ {
 		x := s.order[head]
 		if s.dist[x] == rr {
@@ -186,7 +213,6 @@ func (o *Oracle) compute(u NodeID) *oracleView {
 		view.dist[i] = s.dist[v]
 		view.parent[i] = s.parent[v]
 	}
-	o.scratch.Put(s)
 	return view
 }
 
@@ -203,15 +229,36 @@ func (o *Oracle) view(u NodeID) *oracleView {
 // WarmAll implements Warmer: it materializes every missing view for the
 // current snapshot, fanning the per-node BFS across workers. Afterwards
 // Members/Contains/Dist/Route/EdgeNodes are pure reads until the next
-// epoch. Under Retain-driven retention only the dropped views are
-// recomputed, so warming cost tracks the churned fraction, not N.
+// epoch. Under Retain-driven retention only the dropped views are listed
+// and recomputed — the warm call is O(dropped) work AND dispatch, so a
+// quiet refresh costs nothing; only an epoch wipe (or the first warm)
+// pays the O(N) fan-out.
 func (o *Oracle) WarmAll() {
 	o.invalidate()
-	par.Do(len(o.views), func(i int) {
-		if o.views[i] == nil {
-			o.views[i] = o.compute(NodeID(i))
+	if o.allMissing {
+		par.Do(len(o.views), func(i int) {
+			if o.views[i] == nil {
+				o.views[i] = o.compute(NodeID(i))
+			}
+		})
+		o.allMissing = false
+		o.missing = o.missing[:0]
+		return
+	}
+	if len(o.missing) == 0 {
+		return
+	}
+	// Dedup before the fan-out: a view dropped, recomputed on demand and
+	// dropped again is listed twice, and two workers must never race on
+	// one slot.
+	slices.Sort(o.missing)
+	miss := slices.Compact(o.missing)
+	par.Do(len(miss), func(i int) {
+		if u := miss[i]; o.views[u] == nil {
+			o.views[u] = o.compute(u)
 		}
 	})
+	o.missing = o.missing[:0]
 }
 
 // Members implements Provider.
@@ -231,8 +278,11 @@ func (o *Oracle) Dist(u, x NodeID) int {
 }
 
 // Route implements Provider.
-func (o *Oracle) Route(u, x NodeID) []NodeID {
-	v := o.view(u)
+func (o *Oracle) Route(u, x NodeID) []NodeID { return o.view(u).route(x) }
+
+// route reconstructs the BFS path to x by chaining parents (nil if x is
+// outside the ball).
+func (v *oracleView) route(x NodeID) []NodeID {
 	i := v.find(x)
 	if i < 0 {
 		return nil

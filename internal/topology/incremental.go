@@ -68,7 +68,11 @@ type Builder struct {
 	pos     []geom.Point
 	adj     [][]NodeID
 	links   int
-	built   bool
+	// adjTotal is the directed-degree sum Σ len(adj[i]) (= 2·links),
+	// maintained as a delta by the incremental path so updates never pay
+	// an O(N) recount.
+	adjTotal int
+	built    bool
 
 	// down mirrors the exclusion mask of the last update: down nodes live
 	// outside the grid and carry no links (see UpdateMasked).
@@ -162,6 +166,51 @@ func (b *Builder) UpdateMasked(pos []geom.Point, down []bool) *Graph {
 	return b.snapshot()
 }
 
+// UpdateDirtyMasked is UpdateMasked for callers that already know which
+// nodes may have moved or flipped up/down state — a lazy mobility stepper
+// (mobility.Stepper) reporting its moved list plus the churn flips. The
+// O(N) position-compare scan is skipped entirely: only the listed nodes
+// are checked, so a refresh where nothing moved costs O(1). dirty must be
+// a superset of the nodes whose position or mask state changed since the
+// previous update (duplicates are fine; entries that turn out unchanged
+// are filtered here, keeping the moved set — and the full-rebuild
+// fallback decision — identical to what the scanning path would compute).
+func (b *Builder) UpdateDirtyMasked(pos []geom.Point, down []bool, dirty []NodeID) *Graph {
+	if len(pos) != len(b.pos) {
+		panic("topology: Builder.Update with mismatched position count")
+	}
+	if down != nil && len(down) != len(b.pos) {
+		panic("topology: Builder.Update with mismatched mask length")
+	}
+	b.changed, b.changedAll = b.changed[:0], false
+	if !b.built {
+		b.fullBuild(pos, down)
+		b.built = true
+		return b.snapshot()
+	}
+	b.gen++
+	gen := b.gen
+	b.moved = b.moved[:0]
+	for _, m := range dirty {
+		if b.movedStamp[m] == gen {
+			continue // duplicate in the caller's list
+		}
+		if pos[m] != b.pos[m] || isDown(down, int(m)) != b.down[m] {
+			b.movedStamp[m] = gen
+			b.moved = append(b.moved, NodeID(m))
+		}
+	}
+	if len(b.moved) == 0 {
+		return b.snapshot()
+	}
+	if float64(len(b.moved)) > fullRebuildFraction*float64(len(pos)) {
+		b.fullBuild(pos, down)
+		return b.snapshot()
+	}
+	b.incremental(pos, down)
+	return b.snapshot()
+}
+
 // fullBuild rebuilds grid and adjacency from scratch (reusing storage).
 func (b *Builder) fullBuild(pos []geom.Point, down []bool) {
 	copy(b.pos, pos)
@@ -230,6 +279,9 @@ func (b *Builder) incremental(pos []geom.Point, down []bool) {
 	// stationary endpoints of vanished edges drop m, stationary endpoints
 	// of new edges gain m (sorted in place, O(degree)). Dirty–dirty edges
 	// need no patching — each endpoint's own rescan settles its list.
+	// The link count is carried as a delta on the directed-degree sum
+	// (adjTotal), so a refresh never pays the O(N) recount the full build
+	// does.
 	r2 := b.txRange * b.txRange
 	for _, m := range b.moved {
 		p := b.pos[m]
@@ -261,12 +313,14 @@ func (b *Builder) incremental(pos []geom.Point, down []bool) {
 				if v := old[i]; b.movedStamp[v] != gen {
 					b.adj[v] = removeSorted(b.adj[v], m)
 					b.markChanged(v, gen)
+					b.adjTotal--
 				}
 				i++
 			case i == len(old) || old[i] > newAdj[j]:
 				if v := newAdj[j]; b.movedStamp[v] != gen {
 					b.adj[v] = insertSorted(b.adj[v], m)
 					b.markChanged(v, gen)
+					b.adjTotal++
 				}
 				j++
 			default: // edge unchanged
@@ -274,9 +328,10 @@ func (b *Builder) incremental(pos []geom.Point, down []bool) {
 				j++
 			}
 		}
+		b.adjTotal += len(newAdj) - len(old)
 		b.adj[m] = append(old[:0], newAdj...)
 	}
-	b.recountLinks()
+	b.links = b.adjTotal / 2
 }
 
 // markChanged records v in the changed-adjacency list of the update in
@@ -323,11 +378,15 @@ func removeSorted(a []NodeID, x NodeID) []NodeID {
 	return a
 }
 
+// recountLinks re-derives the directed-degree sum and link count from
+// scratch; full builds call it, incremental updates carry adjTotal as a
+// delta instead.
 func (b *Builder) recountLinks() {
 	sum := 0
 	for _, a := range b.adj {
 		sum += len(a)
 	}
+	b.adjTotal = sum
 	b.links = sum / 2
 }
 
