@@ -9,6 +9,7 @@ package card
 // reproduced shapes.
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -617,4 +618,72 @@ func BenchmarkSchemeSustained1k(b *testing.B) {
 			b.ReportMetric(last.Messages.P95, "msgs-p95")
 		})
 	}
+}
+
+// BenchmarkAdvanceHetero5k measures one ValidatePeriod on the
+// disaster-hetero-5k preset: heterogeneous ±50% radios make the unit-disk
+// graph directed (separate in/out adjacency maintained on every refresh,
+// bidirectional hop checks on every walk) and the partition-and-heal
+// schedule forces periodic full rebuilds — the end-to-end cost record for
+// the directed link layer. CI records it in BENCH_10.json.
+func BenchmarkAdvanceHetero5k(b *testing.B) { benchScenarioAdvance(b, "disaster-hetero-5k") }
+
+// BenchmarkWorkloadLossy10k streams 2 simulated seconds of 100 qps
+// Zipf-skewed traffic against the lossy-metro-10k preset per iteration:
+// every unicast hop rolls the deterministic loss process and pays its
+// retry tax, so this is the serving-scale record for the probabilistic
+// link layer. The retry-share metric (retransmissions as a fraction of
+// all transmissions over the streamed window, maintenance included) keeps
+// the tax visible in the bench ledger. CI records it in BENCH_10.json.
+func BenchmarkWorkloadLossy10k(b *testing.B) {
+	sim, err := NewPresetSimulation("lossy-metro-10k", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.SelectContacts()
+	before := sim.Engine().Messages()
+	var last *WorkloadReport
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := sim.RunWorkload(WorkloadConfig{
+			QPS: 100, Duration: 2, Resources: 512, Replicas: 8, ZipfS: 0.9,
+			Seed: uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep
+	}
+	b.StopTimer()
+	b.ReportMetric(last.SuccessPct, "success-%")
+	m := sim.Engine().Messages()
+	retries := float64(m.Retry - before.Retry)
+	total := (m.TotalPerNode - before.TotalPerNode) * float64(sim.Engine().Nodes())
+	if total > 0 {
+		b.ReportMetric(100*retries/total, "retry-share-%")
+	}
+}
+
+// BenchmarkFootprint1M pins the resident memory of the million-node rung:
+// each iteration builds the full metro-rwp-1m simulation (flat protocol
+// slabs, incremental builder state, capped view cache) through the
+// cold-start selection round, then reports the live-heap delta it
+// retains after a GC. Run with -benchmem for the allocation ledger; CI
+// records it alongside the 1M advance/maintain records in BENCH_9.json —
+// the standing memory-profiling record for the 1M slab.
+func BenchmarkFootprint1M(b *testing.B) {
+	b.ReportAllocs()
+	var before, after runtime.MemStats
+	var live float64
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		sim := new1M(b)
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		live = float64(after.HeapAlloc-before.HeapAlloc) / (1 << 20)
+		runtime.KeepAlive(sim)
+	}
+	b.ReportMetric(live, "live-MB")
 }

@@ -13,6 +13,7 @@
 //	cardsim -preset citywide-rwp-1k   # run one preset end to end
 //	cardsim -preset sparse-rescue -queries 1000 -horizon 30 -topology naive
 //	cardsim -preset citywide-rwp-1k -churn 60,15   # add node churn
+//	cardsim -preset citywide-rwp-1k -loss 0.1 -rangespread 0.5   # lossy directed links
 //	cardsim -preset citywide-rwp-1k -qps 200 -zipf 1.1   # sustained traffic
 //	cardsim -trace movements.tcl -tx 100 -horizon 60   # replay an ns-2 trace
 //
@@ -84,6 +85,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trace     = fs.String("trace", "", "replay an ns-2 setdest movement trace end to end")
 		tx        = fs.Float64("tx", 100, "radio range in meters for -trace runs")
 		churn     = fs.String("churn", "", "add node churn to the run: meanUp,meanDown seconds (e.g. 60,15)")
+		loss      = fs.Float64("loss", -1, "per-hop loss probability in [0,1) (-1 = preset default)")
+		spread    = fs.Float64("rangespread", -1, "per-node radio-range spread in [0,1); >0 makes links directed (-1 = preset default)")
 		queries   = fs.Int("queries", 500, "batched queries per preset run")
 		horizon   = fs.Float64("horizon", -1, "simulated seconds before querying (-1 = preset default)")
 		seed      = fs.Uint64("seed", 1, "preset run seed")
@@ -131,7 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		*preset = "citywide-rwp-1k"
 	}
 	if *preset != "" || *trace != "" {
-		p, err := resolveWorkload(*preset, *trace, *tx, *churn)
+		p, err := resolveWorkload(*preset, *trace, *tx, *churn, *loss, *spread)
 		if err == nil {
 			if *sweepArg != "" {
 				if *qps >= 0 || *zipf >= 0 {
@@ -192,10 +195,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// resolveWorkload turns the -preset / -trace / -churn flags into one
-// runnable Preset: a registered preset by name, or an ad-hoc trace-replay
-// scenario, optionally overlaid with a churn schedule.
-func resolveWorkload(preset, trace string, tx float64, churn string) (engine.Preset, error) {
+// resolveWorkload turns the -preset / -trace / -churn / -loss /
+// -rangespread flags into one runnable Preset: a registered preset by
+// name, or an ad-hoc trace-replay scenario, optionally overlaid with a
+// churn schedule and link-layer overrides (-1 keeps the preset's values;
+// 0 explicitly turns the feature off).
+func resolveWorkload(preset, trace string, tx float64, churn string, loss, spread float64) (engine.Preset, error) {
 	var p engine.Preset
 	switch {
 	case preset != "" && trace != "":
@@ -225,6 +230,20 @@ func resolveWorkload(preset, trace string, tx float64, churn string) (engine.Pre
 		}
 		p.Net.ChurnMeanUp, p.Net.ChurnMeanDown = up, down
 		p.Doc = engine.DescribeNet(p.Net) // keep the header honest about the overlay
+	}
+	if loss >= 0 {
+		if loss >= 1 {
+			return p, fmt.Errorf("bad -loss %g: want a probability in [0, 1)", loss)
+		}
+		p.Net.Loss = loss
+		p.Doc = engine.DescribeNet(p.Net)
+	}
+	if spread >= 0 {
+		if spread >= 1 {
+			return p, fmt.Errorf("bad -rangespread %g: want a fraction in [0, 1)", spread)
+		}
+		p.Net.RangeSpread = spread
+		p.Doc = engine.DescribeNet(p.Net)
 	}
 	return p, nil
 }

@@ -291,6 +291,7 @@ func (m *Maintainer) walkEM(route []NodeID) ([]NodeID, bool) {
 	}
 	stack := append(m.stack[:0], route...)
 	r := m.p.cfg.MaxContactDist
+	directed := m.p.net.Directed()
 	cand := m.cand
 	for {
 		x := stack[len(stack)-1]
@@ -298,9 +299,17 @@ func (m *Maintainer) walkEM(route []NodeID) ([]NodeID, bool) {
 		cand = cand[:0]
 		if d < r {
 			for _, y := range m.p.net.Neighbors(x) {
-				if m.visited[y] != gen {
-					cand = append(cand, y)
+				if m.visited[y] == gen {
+					continue
 				}
+				// Under asymmetric links the walk only advances over
+				// bidirectional hops: the CSQ needs its reply (and every
+				// backtrack) to travel the reverse edge, and a contact
+				// reached one-way would fail its first validation anyway.
+				if directed && !m.p.net.Adjacent(y, x) {
+					continue
+				}
+				cand = append(cand, y)
 			}
 		}
 		if len(cand) == 0 {
@@ -333,6 +342,7 @@ func (m *Maintainer) walkEM(route []NodeID) ([]NodeID, bool) {
 func (m *Maintainer) walkPM(route []NodeID) ([]NodeID, bool) {
 	stack := append(m.stack[:0], route...)
 	r := m.p.cfg.MaxContactDist
+	directed := m.p.net.Directed()
 	budget := m.csqBudget()
 	cand := m.cand
 	for budget > 0 {
@@ -342,9 +352,14 @@ func (m *Maintainer) walkPM(route []NodeID) ([]NodeID, bool) {
 		cand = cand[:0]
 		if d < r {
 			for _, y := range m.p.net.Neighbors(x) {
-				if y != parent {
-					cand = append(cand, y)
+				if y == parent {
+					continue
 				}
+				// Same bidirectionality requirement as the EM walk.
+				if directed && !m.p.net.Adjacent(y, x) {
+					continue
+				}
+				cand = append(cand, y)
 			}
 		}
 		if len(cand) == 0 {
@@ -416,7 +431,13 @@ func (m *Maintainer) acceptContact(stack []NodeID) []NodeID {
 // Message accounting: every surviving hop of the validation walk counts as
 // CatValidate; hops introduced by recovery splices count as CatRecovery
 // (both at their traveled, pre-compaction length — the transmissions
-// happened).
+// happened). Under a lossy link model each attempted hop additionally
+// charges its retransmissions to CatRetry, and a hop that exhausts its
+// retry budget is treated exactly like a broken link: the validation
+// message sits at the break and pays the local-recovery detour — the
+// asymmetric/lossy-hop cost the directed contract prescribes. A hop whose
+// reverse edge is missing (asymmetric link) attempts nothing and goes
+// straight to recovery.
 func (m *Maintainer) validatePath(c *Contact) (path []NodeID, ok bool) {
 	p := m.p
 	old := c.Path
@@ -425,8 +446,14 @@ func (m *Maintainer) validatePath(c *Contact) (path []NodeID, ok bool) {
 	for i+1 < len(old) {
 		cur := out[len(out)-1]
 		next := old[i+1]
-		if p.net.Adjacent(cur, next) {
+		att, delivered := p.net.TryHop(cur, next)
+		if att > 0 {
 			m.sendHop(manet.CatValidate)
+			if att > 1 {
+				m.sendHops(manet.CatRetry, att-1)
+			}
+		}
+		if delivered {
 			out = append(out, next)
 			i++
 			continue

@@ -60,6 +60,7 @@ type Querier struct {
 	// Locally accumulated transmission tallies, flushed on demand.
 	pendingQuery int64
 	pendingReply int64
+	pendingRetry int64
 }
 
 // NewQuerier creates an independent query executor over p.
@@ -84,6 +85,10 @@ func (q *Querier) Flush() {
 	if q.pendingReply != 0 {
 		q.p.net.Record(manet.CatReply, q.pendingReply)
 		q.pendingReply = 0
+	}
+	if q.pendingRetry != 0 {
+		q.p.net.Record(manet.CatRetry, q.pendingRetry)
+		q.pendingRetry = 0
 	}
 }
 
@@ -159,15 +164,22 @@ func (q *Querier) dsq(v, target NodeID, depth int) (int, bool) {
 }
 
 // walkPath mirrors manet.Network.WalkPath for CatQuery traffic but tallies
-// into the Querier's local counter: it counts one transmission per
-// existing hop and stops at the first broken link.
+// into the Querier's local counters: each attempted hop counts one query
+// transmission plus its lossy retransmissions, and the walk stops at the
+// first hop that is asymmetric, broken, or out of retries. TryHop is a
+// pure function of (epoch, edge, attempt), so concurrent Queriers see
+// identical outcomes regardless of scheduling.
 func (q *Querier) walkPath(path []NodeID) bool {
-	g := q.p.net.Graph()
+	net := q.p.net
 	for i := 0; i+1 < len(path); i++ {
-		if !g.Adjacent(path[i], path[i+1]) {
+		att, delivered := net.TryHop(path[i], path[i+1])
+		if att > 0 {
+			q.pendingQuery++
+			q.pendingRetry += int64(att - 1)
+		}
+		if !delivered {
 			return false
 		}
-		q.pendingQuery++
 	}
 	return true
 }

@@ -101,6 +101,7 @@ func (e *Engine) expandChanges(changed []NodeID) (dirty, retain []NodeID) {
 		maxHops = e.cfg.R
 	}
 	retainLen := len(q)
+	directed := g.Directed()
 	head, tail := 0, len(q)
 	for d := 1; d <= maxHops; d++ {
 		for ; head < tail; head++ {
@@ -108,6 +109,20 @@ func (e *Engine) expandChanges(changed []NodeID) (dirty, retain []NodeID) {
 				if e.dirtyStamp[y] != gen {
 					e.dirtyStamp[y] = gen
 					q = append(q, y)
+				}
+			}
+			if directed {
+				// Asymmetric links break the invariant's symmetry argument:
+				// "u reaches the broken hop's endpoint p_a in ≤ r-1 out-hops"
+				// means p_a reaches u over *in*-edges, so the expansion must
+				// traverse the union of out- and in-adjacency to cover every
+				// affected path owner. On scalar graphs in == out and this
+				// loop vanishes.
+				for _, y := range g.InNeighbors(q[head]) {
+					if e.dirtyStamp[y] != gen {
+						e.dirtyStamp[y] = gen
+						q = append(q, y)
+					}
 				}
 			}
 		}

@@ -212,6 +212,28 @@ type NetworkConfig struct {
 	// currently requires the OracleView substrate.
 	ChurnMeanUp, ChurnMeanDown float64
 
+	// RangeSpread, in [0, 1), gives every node its own radio range drawn
+	// uniformly from [TxRange·(1−s), TxRange·(1+s)] — deterministic per
+	// Seed from an id-ordered stream. Any positive spread makes links
+	// asymmetric and the connectivity graph directed: protocol-level hops
+	// then require bidirectional reachability (see topology.LinkModel).
+	// Requires the OracleView substrate.
+	RangeSpread float64
+	// Loss enables probabilistic delivery: each transmission of a
+	// protocol-level hop is lost with this probability (in [0, 1)), and
+	// LossRetries bounds per-hop retransmissions (default 3 when Loss is
+	// set). Retransmissions surface as MessageCounts.Retry; a hop that
+	// exhausts the budget behaves like a broken link and pays the
+	// protocol's usual recovery cost. Deterministic per Seed and
+	// order-independent (see manet/loss.go). Requires OracleView.
+	Loss        float64
+	LossRetries int
+	// PartitionPeriod and PartitionDuration schedule partition-and-heal
+	// events (both > 0 to enable): a vertical mid-area barrier cuts every
+	// crossing link during the last PartitionDuration seconds of each
+	// PartitionPeriod, then heals. Requires OracleView.
+	PartitionPeriod, PartitionDuration float64
+
 	// Proactive selects the neighborhood substrate (default OracleView).
 	Proactive ProactiveKind
 	// ViewCacheCap, when > 0, replaces the resident per-node view table of
@@ -282,7 +304,33 @@ func (nc *NetworkConfig) fill() error {
 	if nc.ViewCacheCap > 0 && nc.Proactive != OracleView {
 		return fmt.Errorf("engine: ViewCacheCap requires the OracleView substrate")
 	}
+	if nc.RangeSpread < 0 || nc.RangeSpread >= 1 {
+		return fmt.Errorf("engine: RangeSpread %g outside [0, 1)", nc.RangeSpread)
+	}
+	if nc.Loss < 0 || nc.Loss >= 1 {
+		return fmt.Errorf("engine: Loss %g outside [0, 1)", nc.Loss)
+	}
+	if nc.LossRetries < 0 {
+		return fmt.Errorf("engine: negative LossRetries %d", nc.LossRetries)
+	}
+	if (nc.PartitionPeriod > 0) != (nc.PartitionDuration > 0) {
+		return fmt.Errorf("engine: partitions need both PartitionPeriod and PartitionDuration > 0 (got %g, %g)",
+			nc.PartitionPeriod, nc.PartitionDuration)
+	}
+	if nc.PartitionPeriod > 0 && nc.PartitionDuration >= nc.PartitionPeriod {
+		return fmt.Errorf("engine: PartitionDuration %g must be shorter than PartitionPeriod %g",
+			nc.PartitionDuration, nc.PartitionPeriod)
+	}
+	if nc.richLinks() && nc.Proactive != OracleView {
+		return fmt.Errorf("engine: heterogeneous ranges, loss and partitions require the OracleView substrate (DSDV does not yet model them)")
+	}
 	return nil
+}
+
+// richLinks reports whether the config departs from the paper's uniform
+// lossless radio model.
+func (nc *NetworkConfig) richLinks() bool {
+	return nc.RangeSpread > 0 || nc.Loss > 0 || nc.PartitionPeriod > 0
 }
 
 // hasChurn reports whether the config enables node churn.
@@ -461,7 +509,24 @@ func New(nc NetworkConfig, cfg proto.Config) (*Engine, error) {
 			return nil, err
 		}
 	}
-	net := manet.NewWithChurn(model, nc.TxRange, rng.Derive(1), mode, churn)
+	lm := topology.LinkModel{Uniform: nc.TxRange}
+	if nc.RangeSpread > 0 {
+		// Per-node ranges from their own derived stream, drawn in id
+		// order — stable against every other knob.
+		rr := rng.Derive(5)
+		ranges := make([]float64, nc.Nodes)
+		for i := range ranges {
+			ranges[i] = nc.TxRange * (1 + nc.RangeSpread*rr.Range(-1, 1))
+		}
+		lm.Ranges = ranges
+	}
+	net := manet.NewNetwork(model, manet.Config{
+		Link:      lm,
+		Mode:      mode,
+		Churn:     churn,
+		Loss:      manet.LossConfig{Rate: nc.Loss, Retries: nc.LossRetries},
+		Partition: manet.PartitionConfig{Period: nc.PartitionPeriod, Duration: nc.PartitionDuration},
+	}, rng.Derive(1))
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -651,6 +716,7 @@ type MessageCounts struct {
 	Reply        int64 // success-reply hops
 	Proactive    int64 // neighborhood protocol broadcasts (when DSDV runs)
 	Register     int64 // rendezvous registration hops and region floods
+	Retry        int64 // link-layer retransmissions under a lossy link model
 	TotalPerNode float64
 }
 
@@ -666,6 +732,7 @@ func (e *Engine) Messages() MessageCounts {
 		Reply:        k.Get(manet.CatReply),
 		Proactive:    k.Get(manet.CatDSDV),
 		Register:     k.Get(manet.CatRegister),
+		Retry:        k.Get(manet.CatRetry),
 		TotalPerNode: float64(k.Total()) / float64(e.net.N()),
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	proto "card/internal/card"
+	"card/internal/manet"
 	"card/internal/workload"
 )
 
@@ -53,8 +54,27 @@ func DescribeNet(nc NetworkConfig) string {
 		// the area are then inferred by engine.New, not known here.
 		size = fmt.Sprintf("%s | N/area from trace", nc.TracePath)
 	}
-	return fmt.Sprintf("%s%s | %s | tx %gm | %s",
-		nc.Mobility, extra, size, nc.TxRange, churn)
+	// Heterogeneous radios report the whole range distribution — printing
+	// only the nominal (max) range would silently misdescribe a directed
+	// scenario.
+	tx := fmt.Sprintf("tx %gm", nc.TxRange)
+	if nc.RangeSpread > 0 {
+		tx = fmt.Sprintf("tx %g-%gm (spread %g, asymmetric)",
+			nc.TxRange*(1-nc.RangeSpread), nc.TxRange*(1+nc.RangeSpread), nc.RangeSpread)
+	}
+	doc := fmt.Sprintf("%s%s | %s | %s | %s",
+		nc.Mobility, extra, size, tx, churn)
+	if nc.Loss > 0 {
+		retries := nc.LossRetries
+		if retries == 0 {
+			retries = manet.DefaultLossRetries
+		}
+		doc += fmt.Sprintf(" | loss %g%% (%d retries)", nc.Loss*100, retries)
+	}
+	if nc.PartitionPeriod > 0 {
+		doc += fmt.Sprintf(" | partition %gs every %gs", nc.PartitionDuration, nc.PartitionPeriod)
+	}
+	return doc
 }
 
 // withDoc returns p with its Doc synthesized from the network config.
@@ -198,6 +218,43 @@ var builtinPresets = []Preset{
 		},
 		Protocol: proto.Config{R: 3, MaxContactDist: 14, NoC: 6, Depth: 2, ValidatePeriod: 2},
 		Horizon:  60,
+	},
+	{
+		// Heterogeneous radios in a disaster field: per-node transmission
+		// ranges spread ±50% around the nominal 100 m (handhelds next to
+		// vehicle-mounted sets), making the link graph directed — a strong
+		// transmitter hears nobody back. Every 60 s a 15 s partition cuts
+		// the field down the middle (a collapsed corridor) and heals, so
+		// contact tables repeatedly lose and rediscover the far half.
+		Name:        "disaster-hetero-5k",
+		Description: "5000 responders over 3000x3000 m, mixed 50-150 m radios, partition-and-heal every 60 s",
+		Net: NetworkConfig{
+			Nodes: 5000, Width: 3000, Height: 3000, TxRange: 100,
+			Mobility: RandomWaypoint, MinSpeed: 1, MaxSpeed: 5, Pause: 30, Seed: 1,
+			RangeSpread:     0.5,
+			PartitionPeriod: 60, PartitionDuration: 15,
+		},
+		Protocol: proto.Config{R: 2, MaxContactDist: 10, NoC: 8, Depth: 3, ValidatePeriod: 2},
+		Horizon:  30,
+	},
+	{
+		// The 10k citywide regime over lossy urban links: every unicast hop
+		// is dropped with 10% probability (frozen per link within a refresh
+		// epoch — link fade, not per-packet noise) and retried up to 3
+		// times, so validation and query traffic pay a visible retry tax
+		// and some stored paths break purely from loss.
+		Name:        "lossy-metro-10k",
+		Description: "10000 vehicles over 4200x4200 m, 100 m radio, 10% hop loss with 3 retries",
+		Net: NetworkConfig{
+			Nodes: 10000, Width: 4200, Height: 4200, TxRange: 100,
+			Mobility: RandomWaypoint, MinSpeed: 1, MaxSpeed: 19, Pause: 10, Seed: 1,
+			Loss: 0.1, LossRetries: 3,
+		},
+		Protocol: proto.Config{R: 2, MaxContactDist: 10, NoC: 8, Depth: 3, ValidatePeriod: 2},
+		Horizon:  30,
+		// Sustained serving load under loss: the retry tax shows up in the
+		// workload report's per-category message split.
+		Traffic: workload.Config{QPS: 100, Duration: 30, Resources: 512, Replicas: 8, ZipfS: 0.9},
 	},
 	{
 		// Node churn over a mobile fleet: nodes power off for ~15 s out of

@@ -37,6 +37,7 @@ package manet
 
 import (
 	"fmt"
+	"math"
 
 	"card/internal/geom"
 	"card/internal/mobility"
@@ -63,11 +64,12 @@ const (
 	CatQuery                     // resource query hops (DSQ / flood / bordercast)
 	CatReply                     // reply-path hops
 	CatRegister                  // rendezvous registration hops and region floods
+	CatRetry                     // link-layer retransmissions under a lossy link model
 	numCategories
 )
 
 var categoryNames = [numCategories]string{
-	"dsdv", "csq", "backtrack", "validate", "recovery", "query", "reply", "register",
+	"dsdv", "csq", "backtrack", "validate", "recovery", "query", "reply", "register", "retry",
 }
 
 func (c Category) String() string {
@@ -113,11 +115,25 @@ func (m TopologyMode) String() string {
 // multiple goroutines between refreshes, which is what the engine's batch
 // query fan-out relies on.
 type Network struct {
-	model   mobility.Model
+	model mobility.Model
+	// lm is the link model the topology snapshots are built from; txRange
+	// caches lm.Max() (the only range in the scalar model).
+	lm      topology.LinkModel
 	txRange float64
 	//cardlint:stream run-owner generator stored by the single-goroutine substrate; parallel layers only ever read derived (node, round) streams
 	rng  *xrand.Rand
 	mode TopologyMode
+
+	// Loss process: every protocol-level hop draws delivery outcomes from
+	// a pure hash of (lossSeed, epoch, u, v, attempt) — see loss.go.
+	lossRate    float64
+	lossRetries int
+	lossSeed    uint64
+
+	// Partition-and-heal schedule: while partPeriod > 0, the link model's
+	// barrier is active whenever mod(t, partPeriod) falls within the last
+	// partDuration seconds of the period.
+	partPeriod, partDuration float64
 
 	now     float64
 	epoch   uint64
@@ -163,26 +179,101 @@ func NewWithMode(model mobility.Model, txRange float64, rng *xrand.Rand, mode To
 // (ChurnedDown, ChurnedUp) are refreshed for protocol-layer expiry. A nil
 // churn keeps the whole population up forever.
 func NewWithChurn(model mobility.Model, txRange float64, rng *xrand.Rand, mode TopologyMode, churn *Churn) *Network {
-	if txRange <= 0 {
+	return NewNetwork(model, Config{
+		Link:  topology.LinkModel{Uniform: txRange},
+		Mode:  mode,
+		Churn: churn,
+	}, rng)
+}
+
+// Config gathers every substrate knob for NewNetwork. The zero value of
+// each optional field disables it: nil Churn keeps the population up, a
+// zero Loss delivers every transmission, a zero Partition never cuts the
+// area, and a Link with only Uniform set runs the scalar fast path.
+type Config struct {
+	// Link is the radio layer (see topology.LinkModel). Uniform must be
+	// positive; Ranges (per-node, producing directed graphs) is optional.
+	// Any BarrierX in it is overwritten when Partition is scheduled.
+	Link topology.LinkModel
+	// Mode selects how snapshots are recomputed (default incremental).
+	Mode TopologyMode
+	// Churn is an optional node up/down schedule (see NewWithChurn).
+	Churn *Churn
+	// Loss is the probabilistic delivery model (see LossConfig).
+	Loss LossConfig
+	// Partition schedules partition-and-heal events: with Period > 0 a
+	// vertical barrier at mid-area cuts every crossing link whenever
+	// mod(t, Period) >= Period-Duration, healing at the period wrap.
+	Partition PartitionConfig
+}
+
+// PartitionConfig schedules recurring partition-and-heal events.
+type PartitionConfig struct {
+	// Period is the event cycle length in seconds (0 = no partitions);
+	// Duration is how long the partition holds at the end of each cycle,
+	// and must lie in (0, Period) when Period is set.
+	Period, Duration float64
+}
+
+// NewNetwork creates a network over the mobility model with the full
+// substrate configuration and takes the initial topology snapshot at t=0.
+// It starts with a serial Counters recorder.
+func NewNetwork(model mobility.Model, cfg Config, rng *xrand.Rand) *Network {
+	lm := cfg.Link
+	if lm.Ranges == nil && lm.Uniform <= 0 {
 		panic("manet: non-positive transmission range")
 	}
-	if churn != nil && churn.N() != model.N() {
-		panic(fmt.Sprintf("manet: churn schedule covers %d nodes, model has %d", churn.N(), model.N()))
+	if lm.Ranges != nil && len(lm.Ranges) != model.N() {
+		panic(fmt.Sprintf("manet: link model covers %d nodes, model has %d", len(lm.Ranges), model.N()))
+	}
+	if cfg.Churn != nil && cfg.Churn.N() != model.N() {
+		panic(fmt.Sprintf("manet: churn schedule covers %d nodes, model has %d", cfg.Churn.N(), model.N()))
+	}
+	if cfg.Loss.Rate < 0 || cfg.Loss.Rate >= 1 {
+		panic("manet: loss rate outside [0, 1)")
+	}
+	if cfg.Loss.Retries < 0 {
+		panic("manet: negative loss retry budget")
+	}
+	if cfg.Partition.Period > 0 &&
+		(cfg.Partition.Duration <= 0 || cfg.Partition.Duration >= cfg.Partition.Period) {
+		panic("manet: partition duration must lie in (0, period)")
+	}
+	if cfg.Partition.Period > 0 {
+		lm.BarrierX = model.Area().W / 2
+		lm.BarrierActive = false
 	}
 	n := &Network{
-		model:   model,
-		txRange: txRange,
-		rng:     rng,
-		mode:    mode,
-		pos:     make([]geom.Point, model.N()),
-		churn:   churn,
-		rec:     &Counters{},
+		model:        model,
+		lm:           lm,
+		txRange:      lm.Max(),
+		rng:          rng,
+		mode:         cfg.Mode,
+		partPeriod:   cfg.Partition.Period,
+		partDuration: cfg.Partition.Duration,
+		pos:          make([]geom.Point, model.N()),
+		churn:        cfg.Churn,
+		rec:          &Counters{},
 	}
-	if churn != nil {
+	if cfg.Loss.Rate > 0 {
+		n.lossRate = cfg.Loss.Rate
+		n.lossRetries = cfg.Loss.Retries
+		if n.lossRetries == 0 {
+			n.lossRetries = DefaultLossRetries
+		}
+		n.lossSeed = cfg.Loss.Seed
+		if n.lossSeed == 0 {
+			// A derived constant substream of the run-owner generator:
+			// pure read, no state advanced, same lineage discipline as
+			// the per-(node, round) protocol streams.
+			n.lossSeed = rng.StreamSeed(0x1055e5, 0)
+		}
+	}
+	if cfg.Churn != nil {
 		n.down = make([]bool, model.N())
 	}
-	if mode == IncrementalTopology {
-		n.builder = topology.NewBuilder(model.N(), model.Area(), txRange)
+	if cfg.Mode == IncrementalTopology {
+		n.builder = topology.NewBuilderLink(model.N(), model.Area(), n.lm)
 	}
 	if st, ok := model.(mobility.Stepper); ok {
 		n.stepper = st
@@ -192,6 +283,17 @@ func NewWithChurn(model mobility.Model, txRange float64, rng *xrand.Rand, mode T
 }
 
 func (n *Network) rebuild(t float64) {
+	if n.partPeriod > 0 {
+		active := math.Mod(t, n.partPeriod) >= n.partPeriod-n.partDuration
+		if active != n.lm.BarrierActive {
+			n.lm.BarrierActive = active
+			if n.builder != nil {
+				// The toggle flips links among stationary nodes, so the
+				// builder falls back to a full rebuild (all changed).
+				n.builder.SetBarrier(active)
+			}
+		}
+	}
 	var moved []NodeID
 	if n.stepper != nil {
 		moved, n.pos = n.stepper.StepTo(t)
@@ -228,9 +330,9 @@ func (n *Network) rebuild(t float64) {
 			n.graph = n.builder.UpdateMasked(n.pos, n.down)
 		}
 	case NaiveTopology:
-		n.graph = topology.BuildNaiveMasked(n.pos, n.model.Area(), n.txRange, n.down)
+		n.graph = topology.BuildNaiveLinkMasked(n.pos, n.model.Area(), n.lm, n.down)
 	default:
-		n.graph = topology.BuildMasked(n.pos, n.model.Area(), n.txRange, n.down)
+		n.graph = topology.BuildLinkMasked(n.pos, n.model.Area(), n.lm, n.down)
 	}
 	n.now = t
 	n.epoch++
@@ -259,8 +361,26 @@ func (n *Network) Epoch() uint64 { return n.epoch }
 // until the next refresh; do not retain it across RefreshAt.
 func (n *Network) Graph() *topology.Graph { return n.graph }
 
-// TxRange returns the radio range in meters.
+// TxRange returns the radio range in meters — the maximum over all nodes
+// when the link model is heterogeneous (see Graph.TxRange).
 func (n *Network) TxRange() float64 { return n.txRange }
+
+// LinkModel returns the radio layer the network builds snapshots from
+// (with the barrier state as of the current snapshot).
+func (n *Network) LinkModel() topology.LinkModel { return n.lm }
+
+// Directed reports whether the link model can produce asymmetric links.
+func (n *Network) Directed() bool { return n.lm.Ranges != nil || n.lm.BarrierX > 0 }
+
+// LossRate returns the per-transmission loss probability (0 = lossless).
+func (n *Network) LossRate() float64 { return n.lossRate }
+
+// LossRetries returns the per-hop retry budget under loss.
+func (n *Network) LossRetries() int { return n.lossRetries }
+
+// PartitionActive reports whether the scheduled partition barrier is
+// cutting links in the current snapshot.
+func (n *Network) PartitionActive() bool { return n.lm.BarrierActive }
 
 // Position returns node u's position in the current snapshot. Valid until
 // the next refresh; down nodes keep a position while holding no links.
@@ -323,8 +443,15 @@ func (n *Network) AdjacencyChanged() (changed []NodeID, all bool) {
 	return n.builder.Changed()
 }
 
-// Adjacent reports whether u and v currently share a link.
+// Adjacent reports whether u can currently transmit to v (the symmetric
+// link predicate on scalar-range networks).
 func (n *Network) Adjacent(u, v NodeID) bool { return n.graph.Adjacent(u, v) }
+
+// Bidirectional reports whether u and v can currently exchange packets in
+// both directions — what a protocol-level unicast hop requires, since the
+// link-layer acknowledgement travels the reverse edge. Identical to
+// Adjacent on scalar-range networks.
+func (n *Network) Bidirectional(u, v NodeID) bool { return n.graph.Bidirectional(u, v) }
 
 // Neighbors returns u's current one-hop neighbors (do not mutate).
 func (n *Network) Neighbors(u NodeID) []NodeID { return n.graph.Neighbors(u) }
@@ -359,15 +486,25 @@ func (n *Network) SendHops(cat Category, k int) { n.rec.Record(cat, int64(k)) }
 func (n *Network) Broadcast(cat Category) { n.rec.Record(cat, 1) }
 
 // WalkPath accounts the unicast transmissions needed to move one packet
-// along path (len(path)-1 hops) and reports whether every hop exists in the
-// current snapshot. On a broken hop it stops counting at the break and
-// returns the index of the node that still holds the packet.
+// along path (len(path)-1 hops) and reports whether every hop could be
+// completed against the current snapshot. A hop requires a bidirectional
+// link (see TryHop) and, under loss, delivery within the retry budget;
+// the first transmission of each attempted hop is charged to cat and
+// retransmissions to CatRetry. On a failed hop it stops at the break and
+// returns the index of the node that still holds the packet — a hop that
+// exhausted its retries still charges the transmissions it burned.
 func (n *Network) WalkPath(cat Category, path []NodeID) (ok bool, holder int) {
 	for i := 0; i+1 < len(path); i++ {
-		if !n.graph.Adjacent(path[i], path[i+1]) {
+		att, delivered := n.TryHop(path[i], path[i+1])
+		if att > 0 {
+			n.rec.Record(cat, 1)
+			if att > 1 {
+				n.rec.Record(CatRetry, int64(att-1))
+			}
+		}
+		if !delivered {
 			return false, i
 		}
-		n.SendHop(cat)
 	}
 	return true, len(path) - 1
 }

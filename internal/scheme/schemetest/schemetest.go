@@ -56,6 +56,35 @@ func Env(tb testing.TB, seed uint64, n int) scheme.Env {
 	return scheme.Env{Net: net, Prot: prot, Dir: resource.NewDirectory(net.N()), Seed: seed}
 }
 
+// LossyEnv builds a deterministic static scenario over a directed, lossy
+// link graph: the same 710 m × 710 m field as Env, but per-node radio
+// ranges spread ±50% around 50 m (so the unit-disk graph is directed and
+// some links are asymmetric) and a 15% per-hop loss rate with a 2-retry
+// budget. Equal seeds give identical environments, bit for bit.
+func LossyEnv(tb testing.TB, seed uint64, n int) scheme.Env {
+	tb.Helper()
+	area := geom.Rect{W: 710, H: 710}
+	rng := xrand.New(seed)
+	pts := topology.UniformPositions(n, area, rng)
+	rr := rng.Derive(3)
+	ranges := make([]float64, n)
+	for i := range ranges {
+		ranges[i] = 50 * (1 + 0.5*rr.Range(-1, 1))
+	}
+	net := manet.NewNetwork(mobility.NewStatic(pts, area), manet.Config{
+		Link: topology.LinkModel{Uniform: 50, Ranges: ranges},
+		Loss: manet.LossConfig{Rate: 0.15, Retries: 2},
+	}, rng.Derive(1))
+	cfg := card.Config{R: 3, MaxContactDist: 16, NoC: 5, Depth: 2}
+	nb := neighborhood.NewOracle(net, cfg.R)
+	prot, err := card.New(net, nb, cfg, rng.Derive(2))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	prot.SelectAll(0)
+	return scheme.Env{Net: net, Prot: prot, Dir: resource.NewDirectory(net.N()), Seed: seed}
+}
+
 // New builds the named scheme over env, failing the test on error.
 func New(tb testing.TB, name string, env scheme.Env) scheme.DiscoveryScheme {
 	tb.Helper()
@@ -74,6 +103,7 @@ func RunConformance(t *testing.T, name string) {
 	t.Run("holder-order-invariant", func(t *testing.T) { HolderOrderInvariant(t, name) })
 	t.Run("deterministic", func(t *testing.T) { Deterministic(t, name) })
 	t.Run("parallel-equivalent", func(t *testing.T) { ParallelEquivalent(t, name) })
+	t.Run("directed-lossy", func(t *testing.T) { DirectedLossy(t, name) })
 }
 
 // UnknownNeverFound pins that a query for a resource with no holders (or
@@ -193,6 +223,95 @@ func Deterministic(t *testing.T, name string) {
 	if t1 != t2 {
 		t.Fatalf("%s: recorder totals differ between identical runs: %v vs %v", name, t1, t2)
 	}
+}
+
+// DirectedLossy runs the scheme over a directed, lossy fixture graph
+// (heterogeneous ±50% radio ranges, 15% hop loss with 2 retries — see
+// LossyEnv) and pins the invariants the richer link layer must not
+// weaken: a self-held resource stays free (delivery risk only applies to
+// transmitted hops), an unplaced resource is never Found, the query batch
+// still resolves something (the fixture is not vacuously disconnected),
+// and two identical runs produce bit-identical outcome streams and
+// recorder totals — loss outcomes are a pure function of the epoch and
+// edge, never of scheduling or wall clock.
+func DirectedLossy(t *testing.T, name string) {
+	if !t.Run("deterministic", func(t *testing.T) {
+		run := func() ([]resource.Result, manet.Counters) {
+			env := LossyEnv(t, 21, 80)
+			place := xrand.New(99)
+			for id := 0; id < 12; id++ {
+				env.Dir.PlaceReplicas(resource.ID(id), 2, place)
+			}
+			s := New(t, name, env)
+			s.Setup()
+			s.Maintain(1)
+			w := s.Worker()
+			draws := xrand.New(7)
+			out := make([]resource.Result, 0, 64)
+			for q := 0; q < 64; q++ {
+				src := scheme.NodeID(draws.Intn(env.Net.N()))
+				id := resource.ID(draws.Intn(12))
+				out = append(out, w.Discover(src, id))
+			}
+			w.Flush()
+			return out, env.Net.Totals()
+		}
+		r1, t1 := run()
+		r2, t2 := run()
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("%s: outcome streams differ between identical lossy runs", name)
+		}
+		if t1 != t2 {
+			t.Fatalf("%s: recorder totals differ between identical lossy runs: %v vs %v", name, t1, t2)
+		}
+		found := 0
+		for _, r := range r1 {
+			if r.Found {
+				found++
+			}
+		}
+		if found == 0 {
+			t.Fatalf("%s: no query resolved on the lossy fixture — the check is vacuous", name)
+		}
+	}) {
+		return
+	}
+	t.Run("self-held-free", func(t *testing.T) {
+		env := LossyEnv(t, 22, 60)
+		holders := []scheme.NodeID{3, 17, 41}
+		for _, h := range holders {
+			env.Dir.Place(7, h)
+		}
+		s := New(t, name, env)
+		s.Setup()
+		w := s.Worker()
+		before := env.Net.Totals()
+		for _, src := range holders {
+			r := w.Discover(src, 7)
+			if !r.Found || r.Holder != src || r.Messages != 0 || r.PathHops != 0 {
+				t.Fatalf("%s: self-held query from %d not free under loss: %+v", name, src, r)
+			}
+		}
+		w.Flush()
+		if d := env.Net.Totals().DiffSince(before); d.Total() != 0 {
+			t.Fatalf("%s: self-held queries charged the recorder under loss: %v", name, d)
+		}
+	})
+	t.Run("unknown-never-found", func(t *testing.T) {
+		env := LossyEnv(t, 23, 60)
+		for i := 0; i < 5; i++ {
+			env.Dir.Place(resource.ID(i), scheme.NodeID(i*7))
+		}
+		s := New(t, name, env)
+		s.Setup()
+		w := s.Worker()
+		for src := 0; src < env.Net.N(); src += 5 {
+			if r := w.Discover(scheme.NodeID(src), resource.ID(9999)); r.Found {
+				t.Fatalf("%s: unknown resource Found on lossy fixture from node %d: %+v", name, src, r)
+			}
+		}
+		w.Flush()
+	})
 }
 
 // ParallelEquivalent pins the sharding contract end to end: a sustained

@@ -79,6 +79,26 @@ var axisDefs = []axisDef{
 		apply: func(c *CellConfig, v float64) error { c.Proto.ValidatePeriod = v; return nil },
 	},
 	{
+		canon: "Loss",
+		check: func(v float64) error {
+			if v < 0 || v >= 1 {
+				return fmt.Errorf("sweep: axis Loss takes a probability in [0, 1), got %g", v)
+			}
+			return nil
+		},
+		apply: func(c *CellConfig, v float64) error { c.Loss = v; return nil },
+	},
+	{
+		canon: "RangeSpread",
+		check: func(v float64) error {
+			if v < 0 || v >= 1 {
+				return fmt.Errorf("sweep: axis RangeSpread takes a fraction in [0, 1), got %g", v)
+			}
+			return nil
+		},
+		apply: func(c *CellConfig, v float64) error { c.RangeSpread = v; return nil },
+	},
+	{
 		canon: "Scheme",
 		check: func(v float64) error {
 			if v != math.Trunc(v) || v < 0 || int(v) >= len(scheme.Names()) {
@@ -103,6 +123,9 @@ var axisAliases = map[string]string{
 	"vp":             "VP",
 	"validateperiod": "VP",
 	"scheme":         "Scheme",
+	"loss":           "Loss",
+	"rangespread":    "RangeSpread",
+	"spread":         "RangeSpread",
 }
 
 // canonAxis resolves an axis name to its definition.
@@ -139,6 +162,7 @@ func canonAxis(name string) (axisDef, error) {
 //	r=8..16..2;Method=EM,PM2
 //	R=2,3;NoC=2..8..2;D=1..3
 //	Scheme=card,rendezvous;NoC=1..4
+//	Loss=0,0.05,0.1;RangeSpread=0,0.25,0.5
 //
 // Axis names R and r are case-sensitive (neighborhood radius vs max
 // contact distance); everything else is case-insensitive.

@@ -62,17 +62,28 @@ func BuildNaiveMasked(pos []geom.Point, area geom.Rect, txRange float64, down []
 // every refresh, keyed by epoch — and avoids re-allocating O(N·d)
 // adjacency every topology refresh.
 type Builder struct {
-	area    geom.Rect
+	area geom.Rect
+	// lm is the link model; txRange caches lm.Max() (the grid cell size,
+	// and the only range in scalar mode).
+	lm      LinkModel
 	txRange float64
-	grid    *geom.Grid
-	pos     []geom.Point
-	adj     [][]NodeID
-	links   int
-	// adjTotal is the directed-degree sum Σ len(adj[i]) (= 2·links),
-	// maintained as a delta by the incremental path so updates never pay
-	// an O(N) recount.
+	// directed mirrors !lm.scalar(): per-node ranges or a configured
+	// barrier switch the builder into directed mode, where in-adjacency
+	// is maintained alongside out-adjacency.
+	directed bool
+	grid     *geom.Grid
+	pos      []geom.Point
+	adj      [][]NodeID
+	in       [][]NodeID // in-adjacency; nil unless directed
+	links    int
+	// adjTotal is the out-degree sum Σ len(adj[i]) (= 2·links undirected,
+	// = links directed), maintained as a delta by the incremental path so
+	// updates never pay an O(N) recount.
 	adjTotal int
 	built    bool
+	// barrierDirty forces the next update into a full rebuild after a
+	// SetBarrier toggle, which flips arbitrarily many links at once.
+	barrierDirty bool
 
 	// down mirrors the exclusion mask of the last update: down nodes live
 	// outside the grid and carry no links (see UpdateMasked).
@@ -84,6 +95,7 @@ type Builder struct {
 	movedStamp []uint64
 	moved      []NodeID
 	newAdj     []NodeID
+	newIn      []NodeID // directed-mode scratch for rescanned in-lists
 
 	// Changed-adjacency tracking for dirty-set consumers (engine
 	// maintenance rounds, oracle view retention): after each update,
@@ -105,19 +117,45 @@ const fullRebuildFraction = 0.6
 // NewBuilder creates an incremental builder for n nodes over area with the
 // given transmission range. The first Update performs a full build.
 func NewBuilder(n int, area geom.Rect, txRange float64) *Builder {
-	if txRange <= 0 {
-		panic("topology: non-positive transmission range")
-	}
-	return &Builder{
+	return NewBuilderLink(n, area, LinkModel{Uniform: txRange})
+}
+
+// NewBuilderLink creates an incremental builder for an arbitrary link
+// model. A plain uniform range runs the scalar (undirected) machinery
+// unchanged; per-node ranges or a configured barrier run the directed
+// machinery, bucketing by the maximum range and maintaining in- and
+// out-adjacency incrementally.
+func NewBuilderLink(n int, area geom.Rect, lm LinkModel) *Builder {
+	lm.validate(n)
+	b := &Builder{
 		area:         area,
-		txRange:      txRange,
-		grid:         geom.NewGrid(area, txRange),
+		lm:           lm,
+		txRange:      lm.Max(),
+		directed:     !lm.scalar(),
 		pos:          make([]geom.Point, n),
 		adj:          make([][]NodeID, n),
 		down:         make([]bool, n),
 		movedStamp:   make([]uint64, n),
 		changedStamp: make([]uint64, n),
 	}
+	b.grid = geom.NewGrid(area, b.txRange)
+	if b.directed {
+		b.in = make([][]NodeID, n)
+	}
+	return b
+}
+
+// SetBarrier toggles the partition barrier configured in the builder's
+// link model (no-op without one, or when the state is unchanged). The
+// next update performs a full rebuild — a partition event flips
+// arbitrarily many links among stationary nodes at once, so every node is
+// reported changed.
+func (b *Builder) SetBarrier(active bool) {
+	if b.lm.BarrierX <= 0 || b.lm.BarrierActive == active {
+		return
+	}
+	b.lm.BarrierActive = active
+	b.barrierDirty = true
 }
 
 // N returns the number of nodes the builder tracks.
@@ -143,7 +181,7 @@ func (b *Builder) UpdateMasked(pos []geom.Point, down []bool) *Graph {
 		panic("topology: Builder.Update with mismatched mask length")
 	}
 	b.changed, b.changedAll = b.changed[:0], false
-	if !b.built {
+	if !b.built || b.barrierDirty {
 		b.fullBuild(pos, down)
 		b.built = true
 		return b.snapshot()
@@ -183,7 +221,7 @@ func (b *Builder) UpdateDirtyMasked(pos []geom.Point, down []bool, dirty []NodeI
 		panic("topology: Builder.Update with mismatched mask length")
 	}
 	b.changed, b.changedAll = b.changed[:0], false
-	if !b.built {
+	if !b.built || b.barrierDirty {
 		b.fullBuild(pos, down)
 		b.built = true
 		return b.snapshot()
@@ -213,6 +251,7 @@ func (b *Builder) UpdateDirtyMasked(pos []geom.Point, down []bool, dirty []NodeI
 
 // fullBuild rebuilds grid and adjacency from scratch (reusing storage).
 func (b *Builder) fullBuild(pos []geom.Point, down []bool) {
+	b.barrierDirty = false
 	copy(b.pos, pos)
 	for i := range b.down {
 		b.down[i] = isDown(down, i)
@@ -223,6 +262,17 @@ func (b *Builder) fullBuild(pos []geom.Point, down []bool) {
 			b.grid.Insert(int32(i), p)
 		}
 	}
+	if b.directed {
+		b.fullScanDirected()
+	} else {
+		b.fullScanScalar()
+	}
+	b.recountLinks()
+	b.changedAll = true
+}
+
+// fullScanScalar rescans every node's adjacency under the uniform range.
+func (b *Builder) fullScanScalar() {
 	r2 := b.txRange * b.txRange
 	for i, p := range b.pos {
 		u := NodeID(i)
@@ -242,8 +292,40 @@ func (b *Builder) fullBuild(pos []geom.Point, down []bool) {
 		}
 		b.adj[u] = adj
 	}
-	b.recountLinks()
-	b.changedAll = true
+}
+
+// fullScanDirected rescans every node's out-list under its own range
+// (honoring the barrier), then derives the in-lists in one ascending
+// pass, which leaves them sorted without a sort.
+func (b *Builder) fullScanDirected() {
+	for i, p := range b.pos {
+		u := NodeID(i)
+		adj := b.adj[u][:0]
+		if !b.down[u] {
+			ri := b.lm.RangeOf(i)
+			r2 := ri * ri
+			x0, y0, x1, y1 := b.grid.BucketRange(p, ri)
+			for y := y0; y <= y1; y++ {
+				for x := x0; x <= x1; x++ {
+					for _, v := range b.grid.Bucket(x, y) {
+						if v != u && p.Dist2(b.pos[v]) <= r2 && !b.lm.cuts(p, b.pos[v]) {
+							adj = append(adj, v)
+						}
+					}
+				}
+			}
+			sortIDs(adj)
+		}
+		b.adj[u] = adj
+	}
+	for i := range b.in {
+		b.in[i] = b.in[i][:0]
+	}
+	for u := range b.adj {
+		for _, v := range b.adj[u] {
+			b.in[v] = append(b.in[v], NodeID(u))
+		}
+	}
 }
 
 // incremental applies a subset-dirty update: re-bucket the moved (and
@@ -254,6 +336,10 @@ func (b *Builder) fullBuild(pos []geom.Point, down []bool) {
 // unchanged and the patching step does no work at all — the steady-state
 // cost is the dirty nodes' grid rescans.
 func (b *Builder) incremental(pos []geom.Point, down []bool) {
+	if b.directed {
+		b.incrementalDirected(pos, down)
+		return
+	}
 	b.gen++
 	gen := b.gen
 	for _, m := range b.moved {
@@ -334,6 +420,130 @@ func (b *Builder) incremental(pos []geom.Point, down []bool) {
 	b.links = b.adjTotal / 2
 }
 
+// incrementalDirected is the directed-mode subset-dirty update. Each
+// dirty node is rescanned twice against the updated grid: once for its
+// out-list (its own range decides who it reaches) and once for its
+// in-list (a maximum-range scan filtered by each candidate's range
+// decides who reaches it). The two merge-diffs then patch the *opposite*
+// lists of stationary endpoints — an out-edge m→v that appeared or
+// vanished patches v's in-list, an in-edge v→m patches v's out-list —
+// keeping every list sorted with O(degree) splices. Dirty–dirty edges
+// settle through each endpoint's own rescans, exactly like the scalar
+// path. adjTotal (= Σ out-degree = directed link count) is carried as a
+// delta: a dirty node's own out-list contributes its length difference,
+// and each stationary out-list splice contributes ±1, so every directed
+// edge change is counted exactly once at its source.
+func (b *Builder) incrementalDirected(pos []geom.Point, down []bool) {
+	b.gen++
+	gen := b.gen
+	for _, m := range b.moved {
+		b.movedStamp[m] = gen
+	}
+
+	for _, m := range b.moved {
+		if !b.down[m] {
+			b.grid.Remove(int32(m), b.pos[m])
+		}
+		b.pos[m] = pos[m]
+		b.down[m] = isDown(down, int(m))
+		if !b.down[m] {
+			b.grid.Insert(int32(m), b.pos[m])
+		}
+	}
+
+	maxR := b.txRange
+	for _, m := range b.moved {
+		p := b.pos[m]
+		newOut := b.newAdj[:0]
+		newIn := b.newIn[:0]
+		if !b.down[m] {
+			rm := b.lm.RangeOf(int(m))
+			r2 := rm * rm
+			x0, y0, x1, y1 := b.grid.BucketRange(p, rm)
+			for y := y0; y <= y1; y++ {
+				for x := x0; x <= x1; x++ {
+					for _, v := range b.grid.Bucket(x, y) {
+						if v != m && p.Dist2(b.pos[v]) <= r2 && !b.lm.cuts(p, b.pos[v]) {
+							newOut = append(newOut, v)
+						}
+					}
+				}
+			}
+			sortIDs(newOut)
+			// The grid holds only up nodes, so candidates need no mask
+			// check; each candidate's own range decides the v→m edge.
+			x0, y0, x1, y1 = b.grid.BucketRange(p, maxR)
+			for y := y0; y <= y1; y++ {
+				for x := x0; x <= x1; x++ {
+					for _, v := range b.grid.Bucket(x, y) {
+						if v != m && !b.lm.cuts(p, b.pos[v]) {
+							rv := b.lm.RangeOf(int(v))
+							if p.Dist2(b.pos[v]) <= rv*rv {
+								newIn = append(newIn, v)
+							}
+						}
+					}
+				}
+			}
+			sortIDs(newIn)
+		}
+		b.newAdj, b.newIn = newOut, newIn // keep the (possibly grown) scratch
+
+		if old := b.adj[m]; !slices.Equal(old, newOut) {
+			b.markChanged(m, gen)
+			i, j := 0, 0
+			for i < len(old) || j < len(newOut) {
+				switch {
+				case j == len(newOut) || (i < len(old) && old[i] < newOut[j]):
+					if v := old[i]; b.movedStamp[v] != gen {
+						b.in[v] = removeSorted(b.in[v], m)
+						b.markChanged(v, gen)
+					}
+					i++
+				case i == len(old) || old[i] > newOut[j]:
+					if v := newOut[j]; b.movedStamp[v] != gen {
+						b.in[v] = insertSorted(b.in[v], m)
+						b.markChanged(v, gen)
+					}
+					j++
+				default:
+					i++
+					j++
+				}
+			}
+			b.adjTotal += len(newOut) - len(old)
+			b.adj[m] = append(old[:0], newOut...)
+		}
+		if old := b.in[m]; !slices.Equal(old, newIn) {
+			b.markChanged(m, gen)
+			i, j := 0, 0
+			for i < len(old) || j < len(newIn) {
+				switch {
+				case j == len(newIn) || (i < len(old) && old[i] < newIn[j]):
+					if v := old[i]; b.movedStamp[v] != gen {
+						b.adj[v] = removeSorted(b.adj[v], m)
+						b.markChanged(v, gen)
+						b.adjTotal--
+					}
+					i++
+				case i == len(old) || old[i] > newIn[j]:
+					if v := newIn[j]; b.movedStamp[v] != gen {
+						b.adj[v] = insertSorted(b.adj[v], m)
+						b.markChanged(v, gen)
+						b.adjTotal++
+					}
+					j++
+				default:
+					i++
+					j++
+				}
+			}
+			b.in[m] = append(old[:0], newIn...)
+		}
+	}
+	b.links = b.adjTotal
+}
+
 // markChanged records v in the changed-adjacency list of the update in
 // progress, deduplicating via the shared generation stamp.
 func (b *Builder) markChanged(v NodeID, gen uint64) {
@@ -378,7 +588,7 @@ func removeSorted(a []NodeID, x NodeID) []NodeID {
 	return a
 }
 
-// recountLinks re-derives the directed-degree sum and link count from
+// recountLinks re-derives the out-degree sum and link count from
 // scratch; full builds call it, incremental updates carry adjTotal as a
 // delta instead.
 func (b *Builder) recountLinks() {
@@ -387,13 +597,26 @@ func (b *Builder) recountLinks() {
 		sum += len(a)
 	}
 	b.adjTotal = sum
-	b.links = sum / 2
+	if b.directed {
+		b.links = sum
+	} else {
+		b.links = sum / 2
+	}
 }
 
 // snapshot wraps the builder's current state in a Graph header. The slices
 // are shared, not copied; see the type comment for the lifetime contract.
 func (b *Builder) snapshot() *Graph {
-	return &Graph{pos: b.pos, area: b.area, rng: b.txRange, adj: b.adj, links: b.links}
+	return &Graph{
+		pos:      b.pos,
+		area:     b.area,
+		rng:      b.txRange,
+		ranges:   b.lm.Ranges,
+		directed: b.directed,
+		adj:      b.adj,
+		in:       b.in,
+		links:    b.links,
+	}
 }
 
 func sortIDs(a []NodeID) { slices.Sort(a) }

@@ -7,12 +7,16 @@ import (
 	"card/internal/xrand"
 )
 
-// graphsEqual reports full structural equality: positions, links, and
-// per-node sorted adjacency.
+// graphsEqual reports full structural equality: positions, links,
+// per-node sorted out-adjacency, and — for directed snapshots — the
+// in-adjacency and per-node ranges as well.
 func graphsEqual(t *testing.T, want, got *Graph) {
 	t.Helper()
 	if want.N() != got.N() {
 		t.Fatalf("node count: want %d, got %d", want.N(), got.N())
+	}
+	if want.Directed() != got.Directed() {
+		t.Fatalf("directed: want %v, got %v", want.Directed(), got.Directed())
 	}
 	if want.Links() != got.Links() {
 		t.Errorf("links: want %d, got %d", want.Links(), got.Links())
@@ -21,6 +25,9 @@ func graphsEqual(t *testing.T, want, got *Graph) {
 		if want.Pos(NodeID(u)) != got.Pos(NodeID(u)) {
 			t.Fatalf("node %d position: want %v, got %v", u, want.Pos(NodeID(u)), got.Pos(NodeID(u)))
 		}
+		if want.RangeOf(NodeID(u)) != got.RangeOf(NodeID(u)) {
+			t.Fatalf("node %d range: want %v, got %v", u, want.RangeOf(NodeID(u)), got.RangeOf(NodeID(u)))
+		}
 		w, g := want.Neighbors(NodeID(u)), got.Neighbors(NodeID(u))
 		if len(w) != len(g) {
 			t.Fatalf("node %d degree: want %v, got %v", u, w, g)
@@ -28,6 +35,15 @@ func graphsEqual(t *testing.T, want, got *Graph) {
 		for i := range w {
 			if w[i] != g[i] {
 				t.Fatalf("node %d adjacency: want %v, got %v", u, w, g)
+			}
+		}
+		wi, gi := want.InNeighbors(NodeID(u)), got.InNeighbors(NodeID(u))
+		if len(wi) != len(gi) {
+			t.Fatalf("node %d in-degree: want %v, got %v", u, wi, gi)
+		}
+		for i := range wi {
+			if wi[i] != gi[i] {
+				t.Fatalf("node %d in-adjacency: want %v, got %v", u, wi, gi)
 			}
 		}
 	}

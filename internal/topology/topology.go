@@ -27,12 +27,25 @@ type NodeID = int32
 const None NodeID = -1
 
 // Graph is an immutable unit-disk connectivity snapshot.
+//
+// In the classic scalar model (one uniform transmission range, the
+// paper's setting) the graph is undirected and adj is the whole story. A
+// heterogeneous [LinkModel] (per-node ranges, partition barrier) makes
+// the graph directed: adj[u] holds the out-neighbors (nodes u can
+// transmit to), in[u] the in-neighbors, and links counts directed edges.
+// Neighbors/Adjacent/BFS always follow out-edges; protocol hops that need
+// an acknowledgement path back use Bidirectional.
 type Graph struct {
-	pos   []geom.Point
-	area  geom.Rect
-	rng   float64 // transmission range, meters
-	adj   [][]NodeID
-	links int
+	pos  []geom.Point
+	area geom.Rect
+	rng  float64 // max transmission range, meters (grid cell size)
+	// ranges holds per-node transmission ranges in directed mode built
+	// from LinkModel.Ranges; nil means every node uses rng.
+	ranges   []float64
+	directed bool
+	adj      [][]NodeID // out-adjacency (the only adjacency when undirected)
+	in       [][]NodeID // in-adjacency; nil when undirected
+	links    int
 }
 
 // Build constructs the unit-disk graph over the given positions: nodes u≠v
@@ -95,28 +108,91 @@ func (g *Graph) N() int { return len(g.pos) }
 // Area returns the deployment area.
 func (g *Graph) Area() geom.Rect { return g.area }
 
-// TxRange returns the transmission range in meters.
+// TxRange returns the transmission range in meters. For a heterogeneous
+// snapshot this is the maximum over all nodes — callers that render or
+// size by range should check Heterogeneous and use RangeOf/RangeSpan for
+// the distribution instead of silently reporting the max.
 func (g *Graph) TxRange() float64 { return g.rng }
+
+// RangeOf returns node u's own transmission range.
+func (g *Graph) RangeOf(u NodeID) float64 {
+	if g.ranges == nil {
+		return g.rng
+	}
+	return g.ranges[u]
+}
+
+// Heterogeneous reports whether nodes carry individual transmission
+// ranges (TxRange is then only the maximum).
+func (g *Graph) Heterogeneous() bool { return g.ranges != nil }
+
+// RangeSpan returns the smallest and largest per-node transmission range.
+func (g *Graph) RangeSpan() (min, max float64) {
+	if g.ranges == nil {
+		return g.rng, g.rng
+	}
+	min, max = g.ranges[0], g.ranges[0]
+	for _, r := range g.ranges[1:] {
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	return min, max
+}
+
+// Directed reports whether the snapshot was built from a link model that
+// can produce asymmetric links (per-node ranges or a partition barrier).
+// Undirected snapshots guarantee Adjacent(u,v) == Adjacent(v,u).
+func (g *Graph) Directed() bool { return g.directed }
 
 // Pos returns the position of node u.
 func (g *Graph) Pos(u NodeID) geom.Point { return g.pos[u] }
 
-// Neighbors returns the adjacency list of u. Callers must not mutate it.
+// Neighbors returns the out-adjacency list of u (every adjacency when the
+// graph is undirected). Callers must not mutate it.
 func (g *Graph) Neighbors(u NodeID) []NodeID { return g.adj[u] }
 
-// Degree returns the number of direct neighbors of u.
+// InNeighbors returns the in-adjacency list of u: the nodes whose
+// transmissions reach u. Identical to Neighbors on undirected snapshots.
+// Callers must not mutate it.
+func (g *Graph) InNeighbors(u NodeID) []NodeID {
+	if g.in == nil {
+		return g.adj[u]
+	}
+	return g.in[u]
+}
+
+// Degree returns the number of out-neighbors of u.
 func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
 
-// Links returns the number of undirected links.
+// Links returns the number of links: undirected links for a scalar-range
+// snapshot, directed edges for a directed one (a symmetric pair counts
+// twice there).
 func (g *Graph) Links() int { return g.links }
 
-// Adjacent reports whether u and v share a link. O(log degree), via a
-// closure-free binary search over the sorted adjacency list — this is the
-// innermost probe of path validation, query walks and the clustering
-// census, so it must not allocate or indirect through a func value.
+// Adjacent reports whether u can transmit to v (dist(u,v) <= range(u) and
+// no active barrier between them); on undirected snapshots this is the
+// symmetric link predicate. O(log degree), via a closure-free binary
+// search over the sorted adjacency list — this is the innermost probe of
+// path validation, query walks and the clustering census, so it must not
+// allocate or indirect through a func value.
 func (g *Graph) Adjacent(u, v NodeID) bool {
 	_, ok := slices.BinarySearch(g.adj[u], v)
 	return ok
+}
+
+// Bidirectional reports whether u and v can exchange packets in both
+// directions — the requirement for a protocol-level unicast hop, whose
+// link-layer acknowledgement must travel v→u. On undirected snapshots it
+// is exactly Adjacent.
+func (g *Graph) Bidirectional(u, v NodeID) bool {
+	if !g.directed {
+		return g.Adjacent(u, v)
+	}
+	return g.Adjacent(u, v) && g.Adjacent(v, u)
 }
 
 // BFSResult holds hop distances and a shortest-path tree rooted at Source.
@@ -262,7 +338,13 @@ func (g *Graph) ComputeCensus() Census {
 	n := g.N()
 	c := Census{N: n, Links: g.links}
 	if n > 0 {
-		c.MeanDegree = 2 * float64(g.links) / float64(n)
+		if g.directed {
+			// links counts directed edges; the mean out-degree is the
+			// comparable figure.
+			c.MeanDegree = float64(g.links) / float64(n)
+		} else {
+			c.MeanDegree = 2 * float64(g.links) / float64(n)
+		}
 	}
 	stride := 1
 	if n > censusSourceCap {

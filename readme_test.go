@@ -70,7 +70,7 @@ func TestReadmeCommandsExist(t *testing.T) {
 	if _, err := experiments.Lookup("fig7"); err != nil {
 		t.Errorf("README names unknown experiment: %v", err)
 	}
-	for _, f := range []string{"-preset", "-presets", "-exp", "-list", "-churn", "-trace", "-scale", "-seeds", "-qps", "-zipf", "-sweep", "-scheme"} {
+	for _, f := range []string{"-preset", "-presets", "-exp", "-list", "-churn", "-trace", "-scale", "-seeds", "-qps", "-zipf", "-sweep", "-scheme", "-loss", "-rangespread"} {
 		if !strings.Contains(readme, f) {
 			t.Errorf("README no longer documents cardsim flag %s", f)
 		}
